@@ -1,0 +1,180 @@
+// Command assertcheck is the framework front door: it parses RTL
+// Verilog, elaborates it into a word-level netlist, and checks
+// assertion properties with the combined word-level ATPG + modular
+// arithmetic engine (or, for comparison, the SAT-BMC and BDD
+// baselines).
+//
+// Usage:
+//
+//	assertcheck -tables
+//	    Regenerate the paper's Table 1 (circuit statistics) and
+//	    Table 2 (per-property time and memory) on the built-in
+//	    benchmark suite.
+//
+//	assertcheck -stats design.v -top mod
+//	    Print netlist statistics for a design.
+//
+//	assertcheck design.v -top mod -invariant sig [-depth N] [-engine E]
+//	assertcheck design.v -top mod -witness sig [-depth N]
+//	    Check that one-bit signal sig is always 1 (invariant) or find
+//	    a trace driving it to 1 (witness). Engines: atpg (default),
+//	    bmc, bdd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bmc"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/elab"
+	"repro/internal/mc"
+	"repro/internal/netlist"
+	"repro/internal/property"
+	"repro/internal/verilog"
+)
+
+func main() {
+	var (
+		tables    = flag.Bool("tables", false, "regenerate Tables 1 and 2 on the built-in suite")
+		stats     = flag.Bool("stats", false, "print netlist statistics")
+		top       = flag.String("top", "", "top module name")
+		invariant = flag.String("invariant", "", "1-bit signal that must always be 1")
+		witness   = flag.String("witness", "", "1-bit signal to drive to 1")
+		depth     = flag.Int("depth", 16, "maximum number of time frames")
+		induction = flag.Bool("induction", true, "attempt a k-induction proof")
+		engine    = flag.String("engine", "atpg", "engine: atpg, bmc or bdd")
+	)
+	flag.Parse()
+
+	if *tables {
+		runTables()
+		return
+	}
+	if flag.NArg() != 1 || *top == "" {
+		fmt.Fprintln(os.Stderr, "usage: assertcheck [-tables] | design.v -top mod [-stats | -invariant sig | -witness sig]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	ast, err := verilog.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := elab.Elaborate(ast, *top, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		printStats(nl)
+		return
+	}
+	name, kind := *invariant, property.Invariant
+	if *witness != "" {
+		name, kind = *witness, property.Witness
+	}
+	if name == "" {
+		fatal(fmt.Errorf("need -stats, -invariant or -witness"))
+	}
+	sig, ok := nl.SignalByName(name)
+	if !ok {
+		fatal(fmt.Errorf("no signal %q", name))
+	}
+	var p property.Property
+	if kind == property.Invariant {
+		p, err = property.NewInvariant(nl, name, sig)
+	} else {
+		p, err = property.NewWitness(nl, name, sig)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	switch *engine {
+	case "atpg":
+		c, err := core.New(nl, core.Options{MaxDepth: *depth, UseInduction: *induction})
+		if err != nil {
+			fatal(err)
+		}
+		res := c.Check(p)
+		fmt.Printf("%s: %v (depth %d, %d decisions, %d implications, %v, %.2f MB allocated)\n",
+			p.Name, res.Verdict, res.Depth, res.Stats.Decisions,
+			res.Stats.Implications, res.Elapsed.Round(100000), float64(res.AllocBytes)/1e6)
+		if res.Trace != nil {
+			fmt.Print(res.Trace.Format(nl))
+		}
+	case "bmc":
+		res := bmc.Check(nl, p, bmc.Options{MaxDepth: *depth})
+		fmt.Printf("%s: %v (depth %d, %d vars, %d clauses, %d conflicts, %v)\n",
+			p.Name, res.Verdict, res.Depth, res.Vars, res.Clauses, res.Conflicts,
+			res.Elapsed.Round(100000))
+		if res.Trace != nil {
+			fmt.Print(res.Trace.Format(nl))
+		}
+	case "bdd":
+		res := mc.Check(nl, p, mc.Options{})
+		fmt.Printf("%s: %v (%d iterations, %d BDD nodes, %.0f reachable states, %v)\n",
+			p.Name, res.Verdict, res.Iters, res.PeakNodes, res.States,
+			res.Elapsed.Round(100000))
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func printStats(nl *netlist.Netlist) {
+	st := nl.Stats()
+	fmt.Printf("%-14s gates=%d FFs=%d ins=%d outs=%d arith=%d cmp=%d mux=%d\n",
+		nl.Name, st.Gates, st.FFs, st.Ins, st.Outs, st.ArithGates, st.Comparators, st.Muxes)
+}
+
+// runTables regenerates Table 1 and Table 2.
+func runTables() {
+	designs, err := circuits.All()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Table 1: circuit statistics")
+	fmt.Printf("%-14s %7s %7s %6s %5s %6s\n", "ckt name", "#lines", "#gates", "#FFs", "#ins", "#outs")
+	for _, d := range designs {
+		st := d.NL.Stats()
+		fmt.Printf("%-14s %7d %7d %6d %5d %6d\n", d.Name, d.Lines(), st.Gates, st.FFs, st.Ins, st.Outs)
+	}
+	fmt.Println()
+	fmt.Println("Table 2: experimental results (cpu time in seconds, memory in MB allocated)")
+	fmt.Printf("%-14s %-5s %-16s %9s %9s\n", "ckt_name", "prop.", "verdict", "cpu time", "memory")
+	for _, d := range designs {
+		for i, p := range d.Props {
+			id := d.PropIDs[i]
+			c, err := core.New(d.NL, core.Options{MaxDepth: tableDepth(id), UseInduction: true})
+			if err != nil {
+				fatal(err)
+			}
+			res := c.Check(p)
+			fmt.Printf("%-14s %-5s %-16s %9.2f %9.2f\n",
+				d.Name, id, res.Verdict.String(), res.Elapsed.Seconds(), float64(res.AllocBytes)/1e6)
+		}
+	}
+}
+
+// tableDepth mirrors the per-property bounds used across the test and
+// benchmark suites (EXPERIMENTS.md documents the choices).
+func tableDepth(id string) int {
+	switch id {
+	case "p4":
+		return 10
+	case "p6", "p8":
+		return 4
+	case "p9":
+		return 8
+	default:
+		return 3
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "assertcheck:", err)
+	os.Exit(1)
+}

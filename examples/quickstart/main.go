@@ -1,0 +1,81 @@
+// Command quickstart is the five-minute tour of the assertion checker:
+// parse a small Verilog arbiter, state a one-hot safety property and a
+// witness obligation, and run the combined word-level-ATPG + modular-
+// arithmetic engine on both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/elab"
+	"repro/internal/property"
+	"repro/internal/verilog"
+)
+
+const src = `
+module grant2(clk, rst, req0, req1, g0, g1);
+  input clk, rst, req0, req1;
+  output g0, g1;
+  reg g0, g1;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      g0 <= 1'b0;
+      g1 <= 1'b0;
+    end else begin
+      g0 <= req0;
+      g1 <= req1 & ~req0;
+    end
+  end
+  initial g0 = 1'b0;
+  initial g1 = 1'b0;
+endmodule
+`
+
+func main() {
+	// 1. Front end: parse and elaborate ("quick synthesis") into a
+	// word-level netlist of Boolean gates, comparators, muxes and
+	// flip-flops.
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := elab.Elaborate(ast, "grant2", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := nl.Stats()
+	fmt.Printf("elaborated grant2: %d gates, %d FFs, %d inputs\n", st.Gates, st.FFs, st.Ins)
+
+	// 2. Properties: the grants must never both be active (invariant),
+	// and client 1 must be grantable (witness).
+	b := property.Builder{NL: nl}
+	g0, _ := nl.SignalByName("g0")
+	g1, _ := nl.SignalByName("g1")
+	exclusive, err := property.NewInvariant(nl, "grants-exclusive", b.AtMostOne(g0, g1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	grantable, err := property.NewWitness(nl, "client1-grantable", g1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Check. The invariant is proved by induction; the witness comes
+	// back as a concrete input trace, replay-validated on the
+	// three-valued simulator.
+	checker, err := core.New(nl, core.Options{MaxDepth: 8, UseInduction: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := checker.Check(exclusive)
+	fmt.Printf("%-18s -> %v (depth %d, %d decisions, %v)\n",
+		res.Property, res.Verdict, res.Depth, res.Stats.Decisions, res.Elapsed.Round(1000))
+
+	res = checker.Check(grantable)
+	fmt.Printf("%-18s -> %v (depth %d)\n", res.Property, res.Verdict, res.Depth)
+	if res.Trace != nil {
+		fmt.Print("witness trace:\n", res.Trace.Format(nl))
+	}
+}

@@ -1,0 +1,85 @@
+package atpg
+
+import (
+	"repro/internal/bv"
+	"repro/internal/netlist"
+)
+
+// Structural identity tracking. Word-level implication over cubes
+// cannot express "these two signals carry the same (unknown) value",
+// which is exactly what the consensus side of bus-contention properties
+// needs: Ne(a, b) with a and b provably identical must evaluate to 0
+// without enumerating values. The engine therefore maintains a
+// union-find over (frame, signal) pairs: buffers, width-preserving
+// zero-extensions, full slices, flip-flop frame links, multiplexors
+// with known selects and satisfied equality gates merge their
+// endpoints. Merges are trailed and undone on backtracking (no path
+// compression, union by attaching arbitrary root — trees stay shallow
+// because merges follow circuit structure).
+
+func (e *Engine) ufIdx(frame int, sig netlist.SignalID) int32 {
+	return int32(frame*e.nl.NumSignals() + int(sig))
+}
+
+func (e *Engine) ufFind(i int32) int32 {
+	for e.ufParent[i] != i {
+		i = e.ufParent[i]
+	}
+	return i
+}
+
+// same reports whether two equal-width signals are known identical at
+// a frame.
+func (e *Engine) same(frame int, a, b netlist.SignalID) bool {
+	if a == b {
+		return true
+	}
+	if e.features.NoIdentity {
+		return false
+	}
+	if e.nl.Width(a) != e.nl.Width(b) {
+		return false
+	}
+	return e.ufFind(e.ufIdx(frame, a)) == e.ufFind(e.ufIdx(frame, b))
+}
+
+// merge records that two equal-width signal instances carry the same
+// value, cross-refining their cubes. Returns false on cube conflict.
+func (e *Engine) merge(fa int, a netlist.SignalID, fb int, b netlist.SignalID) bool {
+	if e.nl.Width(a) != e.nl.Width(b) {
+		return true // ignore mismatched merges defensively
+	}
+	if e.features.NoIdentity {
+		// Ablation mode: fall back to plain cube cross-refinement.
+		if !e.assign(fa, a, e.vals[fb][b]) {
+			return false
+		}
+		return e.assign(fb, b, e.vals[fa][a])
+	}
+	ra := e.ufFind(e.ufIdx(fa, a))
+	rb := e.ufFind(e.ufIdx(fb, b))
+	if ra != rb {
+		e.ufParent[ra] = rb
+		e.ufTrail = append(e.ufTrail, ra)
+	}
+	// Cross-refine values so both sides share every known bit.
+	if !e.assign(fa, a, e.vals[fb][b]) {
+		return false
+	}
+	return e.assign(fb, b, e.vals[fa][a])
+}
+
+// identityTrit returns the forced comparator output when both inputs
+// are structurally identical, or X when no identity is known.
+func (e *Engine) identityTrit(frame int, g *netlist.Gate) bv.Trit {
+	if !g.Kind.IsComparator() || !e.same(frame, g.In[0], g.In[1]) {
+		return bv.X
+	}
+	switch g.Kind {
+	case netlist.KEq, netlist.KLe, netlist.KGe:
+		return bv.One
+	case netlist.KNe, netlist.KLt, netlist.KGt:
+		return bv.Zero
+	}
+	return bv.X
+}

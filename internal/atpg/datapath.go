@@ -1,0 +1,268 @@
+package atpg
+
+import (
+	"repro/internal/bv"
+	"repro/internal/linsolve"
+	"repro/internal/netlist"
+)
+
+// datapathPhase solves the residual datapath constraints once the
+// control logic is justified (§4, Fig. 1 right half). Linear
+// constraints (adders, subtractors, constant-input multipliers and
+// shifts) are collected into a matrix equation over Z/2^n and solved in
+// closed form; nonlinear multipliers are turned into a branch point
+// whose alternatives are the factoring-enumerated candidate operand
+// pairs. Solved values are written back and re-implied by the caller.
+//
+// Returns progress=true when values were written back, conflict=true
+// when the constraints are infeasible (the caller backtracks into the
+// ATPG), and a non-nil decision for nonlinear enumeration.
+func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *decision) {
+	e.stats.ArithCalls++
+	var arith []gateAt
+	for _, u := range unjust {
+		if e.nl.Gates[u.gate].Kind.IsArith() {
+			arith = append(arith, u)
+		}
+	}
+	if len(arith) == 0 {
+		return false, false, nil
+	}
+
+	// Nonlinear multipliers first: they become enumeration decisions
+	// when the factoring enumeration is provably complete (one operand
+	// cube small enough for the exhaustive scan). Incomplete heuristic
+	// enumerations are skipped — the bit-level fallback decisions in
+	// the main loop keep the search complete instead.
+	for _, u := range arith {
+		g := &e.nl.Gates[u.gate]
+		if g.Kind != netlist.KMul {
+			continue
+		}
+		f := int(u.frame)
+		a, b := e.vals[f][g.In[0]], e.vals[f][g.In[1]]
+		if a.IsFullyKnown() || b.IsFullyKnown() {
+			continue // linear; handled below
+		}
+		out := e.vals[f][g.Out]
+		w := out.Width()
+		if w > 64 {
+			continue // fallback decisions handle wide multipliers
+		}
+		c, ok := out.Uint64()
+		if !ok {
+			// Output only partially known: not enumerable yet; leave
+			// for the linear pass or later implication.
+			continue
+		}
+		exhaustive := a.CountSolutions() <= 1<<12 || b.CountSolutions() <= 1<<12
+		if !exhaustive {
+			continue // heuristic-only enumeration: leave to fallback
+		}
+		cands := linsolve.SolveMul(w, c, a, b, 1<<13)
+		if len(cands) == 0 {
+			return false, true, nil // complete enumeration: no solution
+		}
+		if len(cands) > 64 {
+			continue // too many branches; cheaper as bit decisions
+		}
+		alts := make([]alternative, len(cands))
+		for i, cd := range cands {
+			alts[i] = alternative{asg: []requirement{
+				{f, g.In[0], bv.FromUint64(w, cd.A)},
+				{f, g.In[1], bv.FromUint64(w, cd.B)},
+			}}
+		}
+		return false, false, &decision{alts: alts}
+	}
+
+	// Linear system extraction.
+	type varKey = sigAt
+	varIdx := map[varKey]int{}
+	var varList []varKey
+	maxW := 1
+	getVar := func(f int, s netlist.SignalID) (int, bool) {
+		w := e.nl.Width(s)
+		if w > 64 {
+			return 0, false
+		}
+		k := varKey{int32(f), s}
+		if i, ok := varIdx[k]; ok {
+			return i, true
+		}
+		varIdx[k] = len(varList)
+		varList = append(varList, k)
+		if w > maxW {
+			maxW = w
+		}
+		return len(varList) - 1, true
+	}
+	type eq struct {
+		terms map[int]uint64 // var -> coefficient
+		rhs   uint64
+		width int
+	}
+	var eqs []eq
+	addEq := func(width int, rhs uint64, terms map[int]uint64) {
+		eqs = append(eqs, eq{terms: terms, rhs: rhs, width: width})
+	}
+	handled := false
+	for _, u := range arith {
+		g := &e.nl.Gates[u.gate]
+		f := int(u.frame)
+		w := e.nl.Width(g.Out)
+		if w > 64 {
+			continue // fallback decisions cover wide arithmetic
+		}
+		neg := func(c uint64) uint64 { return (-c) & maskW(w) }
+		// acc accumulates coefficients: a gate whose operands alias the
+		// same variable (e.g. q - q) must sum its coefficients, not
+		// overwrite them.
+		acc := func(m map[int]uint64, v int, c uint64) {
+			m[v] = (m[v] + c) & maskW(w)
+		}
+		switch g.Kind {
+		case netlist.KAdd, netlist.KSub:
+			va, okA := getVar(f, g.In[0])
+			vb, okB := getVar(f, g.In[1])
+			vo, okO := getVar(f, g.Out)
+			if !okA || !okB || !okO {
+				continue
+			}
+			cb := uint64(1)
+			if g.Kind == netlist.KSub {
+				cb = neg(1)
+			}
+			terms := map[int]uint64{}
+			acc(terms, va, 1)
+			acc(terms, vb, cb)
+			acc(terms, vo, neg(1))
+			addEq(w, 0, terms)
+			handled = true
+		case netlist.KMul:
+			a, b := e.vals[f][g.In[0]], e.vals[f][g.In[1]]
+			var kc uint64
+			var varSig netlist.SignalID
+			if av, ok := a.Uint64(); ok {
+				kc, varSig = av, g.In[1]
+			} else if bvv, ok := b.Uint64(); ok {
+				kc, varSig = bvv, g.In[0]
+			} else {
+				continue // nonlinear without known output; skip
+			}
+			vx, okX := getVar(f, varSig)
+			vo, okO := getVar(f, g.Out)
+			if !okX || !okO {
+				continue
+			}
+			terms := map[int]uint64{}
+			acc(terms, vx, kc)
+			acc(terms, vo, neg(1))
+			addEq(w, 0, terms)
+			handled = true
+		case netlist.KShl:
+			amt, ok := e.vals[f][g.In[1]].Uint64()
+			if !ok || amt >= uint64(w) {
+				continue // dynamic shifts justify via fallback decisions
+			}
+			vx, okX := getVar(f, g.In[0])
+			vo, okO := getVar(f, g.Out)
+			if !okX || !okO {
+				continue
+			}
+			terms := map[int]uint64{}
+			acc(terms, vx, uint64(1)<<amt)
+			acc(terms, vo, neg(1))
+			addEq(w, 0, terms)
+			handled = true
+		default:
+			// Beyond the linear solver; the fallback decisions in the
+			// main search loop cover these completely.
+		}
+	}
+	if !handled {
+		return false, false, nil
+	}
+	// Anchors: fully-known variables pin to constants; partially-known
+	// ones become cube constraints for the consistency search.
+	cubes := make([]bv.BV, len(varList))
+	for i, k := range varList {
+		v := e.vals[k.frame][k.sig]
+		if val, ok := v.Uint64(); ok {
+			addEq(v.Width(), val, map[int]uint64{i: 1})
+		} else if !v.IsAllX() {
+			cubes[i] = v
+		}
+	}
+	sys := linsolve.NewSystem(maxW, len(varList))
+	for _, q := range eqs {
+		coeffs := make([]uint64, len(varList))
+		for vi, c := range q.terms {
+			coeffs[vi] = c
+		}
+		if err := sys.AddEquation(coeffs, q.rhs, q.width); err != nil {
+			return false, false, nil
+		}
+	}
+	ss := sys.Solve()
+	if !ss.Feasible {
+		return false, true, nil
+	}
+	writeback := func(x []uint64) alternative {
+		asg := make([]requirement, len(varList))
+		for i, k := range varList {
+			w := e.nl.Width(k.sig)
+			asg[i] = requirement{int(k.frame), k.sig, bv.FromUint64(w, x[i]&maskW(w))}
+		}
+		return alternative{asg: asg}
+	}
+	consistent := func(x []uint64) bool {
+		for i, k := range varList {
+			w := e.nl.Width(k.sig)
+			if cubes[i].Width() != 0 && !cubes[i].Contains(x[i]&maskW(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case ss.Count() == 1:
+		// Forced: write the unique solution back. Progress requires an
+		// actual refinement — rewriting already-known values must not
+		// count, or the solve loop would spin.
+		if !consistent(ss.X0) {
+			return false, true, nil
+		}
+		trailBefore := len(e.trail)
+		if !e.applyAlt(writeback(ss.X0)) {
+			return false, true, nil
+		}
+		return len(e.trail) > trailBefore, false, nil
+	case ss.CountLog2() <= 6:
+		// Small solution set: branch over every consistent solution so
+		// no alternative is lost when one conflicts downstream.
+		var alts []alternative
+		ss.Enumerate(func(x []uint64) bool {
+			if consistent(x) {
+				alts = append(alts, writeback(append([]uint64(nil), x...)))
+			}
+			return true
+		})
+		if len(alts) == 0 {
+			return false, true, nil // exhaustive: genuinely infeasible
+		}
+		return false, false, &decision{alts: alts}
+	default:
+		// Feasible with a large solution set: the solve contributed its
+		// pruning; leave value selection to further implication and
+		// fallback decisions.
+		return false, false, nil
+	}
+}
+
+func maskW(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}

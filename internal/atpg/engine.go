@@ -1,0 +1,532 @@
+// Package atpg implements the word-level sequential ATPG engine of the
+// paper (§3): three-valued word-level logic implication over the RTL
+// netlist (§3.1), a justification procedure that makes decisions only
+// on control signals guided by legal-assignment probabilities (§3.2),
+// time-frame expansion for sequential constraints, and the hand-off to
+// the modular arithmetic solver for residual datapath constraints (§4).
+//
+// Values are three-valued cubes (internal/bv). Within one decision
+// level a signal may be refined many times; every refinement pushes the
+// previous cube on a trail so that backtracking restores the earlier
+// *partially-implied* value, not all-x (§3.1, last paragraph).
+package atpg
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bv"
+	"repro/internal/estg"
+	"repro/internal/netlist"
+)
+
+// Mode selects the decision polarity strategy (§3.2): when proving an
+// assertion, counter examples are unlikely, so the engine assigns the
+// complement of the bias value first to hit conflicts early; when
+// generating a witness it assigns the bias value first.
+type Mode uint8
+
+// Search modes.
+const (
+	ModeProve Mode = iota
+	ModeWitness
+)
+
+// Limits bounds the search.
+type Limits struct {
+	MaxBacktracks int           // 0 = default
+	MaxDecisions  int           // 0 = default
+	Timeout       time.Duration // 0 = none
+}
+
+// Features toggles engine components for ablation studies (all false =
+// the full engine). Disabling a feature never affects soundness, only
+// search effort.
+type Features struct {
+	// NoIdentity disables structural identity (congruence) tracking:
+	// comparators over provably-equal signals are no longer forced,
+	// and consensus-style properties degrade to value enumeration.
+	NoIdentity bool
+	// NoArithSolver disables the modular arithmetic datapath phase;
+	// arithmetic requirements justify through implication and bit
+	// decisions only.
+	NoArithSolver bool
+	// NoProbabilityOrder disables the legal-probability decision
+	// ordering of §3.2; candidates are taken in structural order with
+	// a fixed polarity.
+	NoProbabilityOrder bool
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Decisions    int
+	Backtracks   int
+	Implications int
+	ArithCalls   int // modular arithmetic solver invocations
+	MaxTrail     int
+}
+
+// Status is the outcome of a Solve call.
+type Status uint8
+
+// Solve outcomes.
+const (
+	StatusUnsat Status = iota // no assignment satisfies the requirements
+	StatusSat                 // satisfying assignment found (counterexample)
+	StatusAbort               // resource limit hit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusUnsat:
+		return "unsat"
+	case StatusSat:
+		return "sat"
+	default:
+		return "abort"
+	}
+}
+
+// Engine is one time-frame-expanded constraint-solving instance.
+type Engine struct {
+	nl       *netlist.Netlist
+	frames   int
+	mode     Mode
+	limits   Limits
+	features Features
+	store    *estg.Store // optional learned-state store
+
+	vals  [][]bv.BV // [frame][signal]
+	trail []trailEntry
+	// levelMarks[d] is the trail length when decision level d opened.
+	levelMarks []int
+	queue      []gateAt
+	qhead      int
+	queued     map[gateAt]bool
+
+	stats    Stats
+	deadline time.Time
+	// requirements recorded for re-imply after backtracking
+	reqs []requirement
+	// incomplete is set when a branch is abandoned for engine
+	// limitations rather than a proven conflict; an exhausted search
+	// then reports Abort instead of Unsat.
+	incomplete bool
+
+	// Structural identity union-find over (frame, signal); see alias.go.
+	ufParent []int32
+	ufTrail  []int32
+	ufMarks  []int
+
+	// inBuf is the scratch input-cube buffer shared by implyGate and
+	// unjustified (never used re-entrantly).
+	inBuf []bv.BV
+
+	// domains restricts feasible values of selected signals (local FSM
+	// reachable sets, §6); checked whenever a value becomes fully known.
+	domains map[netlist.SignalID]Domain
+
+	// controlFFs lists 1-bit flip-flops (abstract state variables).
+	controlFFs []netlist.GateID
+}
+
+type trailEntry struct {
+	frame int32
+	sig   netlist.SignalID
+	prev  bv.BV
+}
+
+type gateAt struct {
+	frame int32
+	gate  netlist.GateID
+}
+
+type requirement struct {
+	frame int
+	sig   netlist.SignalID
+	val   bv.BV
+}
+
+// New returns an engine over frames copies of the netlist. Frame-0
+// flip-flop outputs are constrained to their initial values; pass
+// freeInit to leave them unconstrained (used for inductive steps).
+func New(nl *netlist.Netlist, frames int, mode Mode, limits Limits, store *estg.Store, freeInit bool) (*Engine, error) {
+	return NewWithFeatures(nl, frames, mode, limits, store, freeInit, Features{})
+}
+
+// NewWithFeatures is New with ablation switches.
+func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, store *estg.Store, freeInit bool, feats Features) (*Engine, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("atpg: need at least one frame")
+	}
+	if _, err := nl.TopoOrder(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		nl: nl, frames: frames, mode: mode, limits: limits, store: store,
+		features: feats,
+		queued:   map[gateAt]bool{},
+	}
+	if e.limits.MaxBacktracks == 0 {
+		e.limits.MaxBacktracks = 200000
+	}
+	if e.limits.MaxDecisions == 0 {
+		e.limits.MaxDecisions = 1000000
+	}
+	e.vals = make([][]bv.BV, frames)
+	for f := range e.vals {
+		e.vals[f] = make([]bv.BV, nl.NumSignals())
+		for s := range e.vals[f] {
+			e.vals[f][s] = bv.NewX(nl.Signals[s].Width)
+		}
+	}
+	for _, ff := range nl.FFs {
+		g := &nl.Gates[ff]
+		if nl.Width(g.Out) == 1 {
+			e.controlFFs = append(e.controlFFs, ff)
+		}
+		if !freeInit && !g.Init.IsAllX() {
+			if !e.assign(0, g.Out, g.Init) {
+				return nil, fmt.Errorf("atpg: contradictory initial values")
+			}
+		}
+	}
+	// Structural identity union-find, with the static aliases merged
+	// up front: buffers, width-preserving extensions, full-range
+	// slices, single-input concats and the flip-flop frame links.
+	e.ufParent = make([]int32, frames*nl.NumSignals())
+	for i := range e.ufParent {
+		e.ufParent[i] = int32(i)
+	}
+	for f := 0; f < frames && !feats.NoIdentity; f++ {
+		for gi := range nl.Gates {
+			g := &nl.Gates[gi]
+			switch g.Kind {
+			case netlist.KBuf:
+				e.merge(f, g.Out, f, g.In[0])
+			case netlist.KZext:
+				if nl.Width(g.Out) == nl.Width(g.In[0]) {
+					e.merge(f, g.Out, f, g.In[0])
+				}
+			case netlist.KSlice:
+				if g.Lo == 0 && g.Hi == nl.Width(g.In[0])-1 {
+					e.merge(f, g.Out, f, g.In[0])
+				}
+			case netlist.KConcat:
+				if len(g.In) == 1 {
+					e.merge(f, g.Out, f, g.In[0])
+				}
+			case netlist.KDff:
+				if f+1 < frames {
+					e.merge(f+1, g.Out, f, g.In[0])
+				}
+			}
+		}
+	}
+	// Seed one evaluation of every gate instance: constants and
+	// zero-extensions produce known bits even from all-x inputs, and
+	// everything else establishes its baseline implication.
+	for f := 0; f < frames; f++ {
+		for gi := range nl.Gates {
+			if nl.Gates[gi].Kind == netlist.KDff && f+1 >= frames {
+				continue
+			}
+			e.enqueue(f, netlist.GateID(gi))
+		}
+	}
+	return e, nil
+}
+
+// Frames returns the number of time frames.
+func (e *Engine) Frames() int { return e.frames }
+
+// Stats returns search statistics so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Value returns the current cube of a signal at a frame.
+func (e *Engine) Value(frame int, sig netlist.SignalID) bv.BV { return e.vals[frame][sig] }
+
+// Domain restricts the feasible values of one signal per frame — the
+// engine-side view of a local FSM's unrolled state transition graph
+// (§6): a refinement whose cube contains no reachable value is a
+// conflict ("avoid entering illegal states"). Working at cube
+// granularity (rather than only on fully-known values) prunes partial
+// assignments early: two bits pinned 1 in a one-hot-reachable register
+// conflict immediately instead of after full enumeration.
+type Domain struct {
+	Sig netlist.SignalID
+	// FeasibleIn reports whether some value feasible at frame f lies
+	// inside the cube (the cube width equals the signal width, <= 64).
+	FeasibleIn func(frame int, cube bv.BV) bool
+	// Enumerate calls fn for every feasible value at frame f that lies
+	// inside the cube, until fn returns false. Used to branch directly
+	// over reachable states (a decision over the local FSM's states)
+	// instead of enumerating bits of derived vectors.
+	Enumerate func(frame int, cube bv.BV, fn func(v uint64) bool)
+}
+
+// AddDomain registers a value-domain restriction. Only signals of
+// width <= 64 are supported (wider domains are ignored).
+func (e *Engine) AddDomain(d Domain) {
+	if e.nl.Width(d.Sig) > 64 {
+		return
+	}
+	if e.domains == nil {
+		e.domains = map[netlist.SignalID]Domain{}
+	}
+	e.domains[d.Sig] = d
+}
+
+// Require refines signal sig at the given frame with val and records
+// the requirement (requirements are re-implied after backtracking).
+// It returns false if the requirement immediately conflicts.
+func (e *Engine) Require(frame int, sig netlist.SignalID, val bv.BV) bool {
+	e.reqs = append(e.reqs, requirement{frame, sig, val})
+	return e.assign(frame, sig, val)
+}
+
+// RequireName is Require by signal name.
+func (e *Engine) RequireName(frame int, name string, val bv.BV) (bool, error) {
+	sig, ok := e.nl.SignalByName(name)
+	if !ok {
+		return false, fmt.Errorf("atpg: no signal %q", name)
+	}
+	return e.Require(frame, sig, val), nil
+}
+
+// assign refines vals[frame][sig] with val; pushes the previous value
+// on the trail and enqueues affected gates. Returns false on conflict.
+func (e *Engine) assign(frame int, sig netlist.SignalID, val bv.BV) bool {
+	cur := e.vals[frame][sig]
+	// Allocation-free fast path: most implications change nothing.
+	changed, conflict := cur.RefineScan(val)
+	if conflict {
+		return false
+	}
+	if !changed {
+		return true
+	}
+	merged, _, ok := cur.Refine(val)
+	if !ok {
+		return false
+	}
+	if e.domains != nil {
+		if d, has := e.domains[sig]; has {
+			if !d.FeasibleIn(frame, merged) {
+				return false // no reachable local-FSM state fits
+			}
+		}
+	}
+	e.trail = append(e.trail, trailEntry{int32(frame), sig, cur})
+	if len(e.trail) > e.stats.MaxTrail {
+		e.stats.MaxTrail = len(e.trail)
+	}
+	e.vals[frame][sig] = merged
+	e.enqueueAround(frame, sig)
+	return true
+}
+
+// enqueueAround schedules the driver and fanout gates of a changed
+// signal, including the cross-frame neighbours of flip-flops.
+func (e *Engine) enqueueAround(frame int, sig netlist.SignalID) {
+	s := &e.nl.Signals[sig]
+	if s.Driver != netlist.None {
+		g := &e.nl.Gates[s.Driver]
+		if g.Kind == netlist.KDff {
+			// Q at this frame constrains D at frame-1 (and is
+			// constrained by it).
+			if frame > 0 {
+				e.enqueue(frame-1, s.Driver)
+			}
+		} else {
+			e.enqueue(frame, s.Driver)
+		}
+	}
+	for _, g := range s.Fanout {
+		if e.nl.Gates[g].Kind == netlist.KDff {
+			// D at this frame drives Q at frame+1.
+			if frame+1 < e.frames {
+				e.enqueue(frame, g)
+			}
+		} else {
+			e.enqueue(frame, g)
+		}
+	}
+}
+
+func (e *Engine) enqueue(frame int, g netlist.GateID) {
+	key := gateAt{int32(frame), g}
+	if e.queued[key] {
+		return
+	}
+	e.queued[key] = true
+	e.queue = append(e.queue, key)
+}
+
+// Propagate runs word-level logic implication to a fixpoint without
+// making any decisions, returning false on conflict. Use it to observe
+// pure implication results (the worked examples of §3.1); Solve calls
+// it internally.
+func (e *Engine) Propagate() bool { return e.propagate() }
+
+// propagate drains the implication queue in FIFO order — breadth-first
+// propagation visits each gate of a long chain once per wavefront
+// instead of thrashing depth-first. Returns false on conflict.
+func (e *Engine) propagate() bool {
+	for e.qhead < len(e.queue) {
+		item := e.queue[e.qhead]
+		e.qhead++
+		delete(e.queued, item)
+		e.stats.Implications++
+		if !e.implyGate(int(item.frame), item.gate) {
+			// Leave the queue dirty; backtrack clears it.
+			return false
+		}
+		if e.qhead == len(e.queue) {
+			e.queue = e.queue[:0]
+			e.qhead = 0
+		} else if e.qhead > 4096 && e.qhead*2 > len(e.queue) {
+			n := copy(e.queue, e.queue[e.qhead:])
+			e.queue = e.queue[:n]
+			e.qhead = 0
+		}
+	}
+	return true
+}
+
+// clearQueue empties pending work (used on backtrack).
+func (e *Engine) clearQueue() {
+	e.queue = e.queue[:0]
+	e.qhead = 0
+	for k := range e.queued {
+		delete(e.queued, k)
+	}
+}
+
+// pushLevel opens a new decision level.
+func (e *Engine) pushLevel() {
+	e.levelMarks = append(e.levelMarks, len(e.trail))
+	e.ufMarks = append(e.ufMarks, len(e.ufTrail))
+}
+
+// popLevel undoes all refinements of the top decision level, restoring
+// the previously partially-implied values and un-merging identities.
+func (e *Engine) popLevel() {
+	if len(e.levelMarks) == 0 {
+		return
+	}
+	mark := e.levelMarks[len(e.levelMarks)-1]
+	e.levelMarks = e.levelMarks[:len(e.levelMarks)-1]
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		t := e.trail[i]
+		e.vals[t.frame][t.sig] = t.prev
+	}
+	e.trail = e.trail[:mark]
+	ufMark := e.ufMarks[len(e.ufMarks)-1]
+	e.ufMarks = e.ufMarks[:len(e.ufMarks)-1]
+	for i := len(e.ufTrail) - 1; i >= ufMark; i-- {
+		r := e.ufTrail[i]
+		e.ufParent[r] = r
+	}
+	e.ufTrail = e.ufTrail[:ufMark]
+	e.clearQueue()
+	e.stats.Backtracks++
+}
+
+// level returns the current decision depth.
+func (e *Engine) level() int { return len(e.levelMarks) }
+
+// stateKey returns the abstract control state (1-bit flip-flop cube) at
+// a frame, for the extended state transition graph.
+func (e *Engine) stateKey(frame int) string {
+	buf := make([]byte, 0, len(e.controlFFs))
+	for _, ff := range e.controlFFs {
+		out := e.nl.Gates[ff].Out
+		buf = append(buf, byte('0'+uint8(e.vals[frame][out].Bit(0))))
+	}
+	return string(buf)
+}
+
+// timedOut reports whether the deadline passed.
+func (e *Engine) timedOut() bool {
+	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+}
+
+// SuccessorSet computes the candidate successor values of a register:
+// all u for which the joint requirement {Q = v, D = u} is satisfiable
+// with every other register and input unknown. The candidates come
+// from the completions of the implied D cube (so wide registers with
+// tightly-implied next states — one-hot rotators, counters — work even
+// though 2^width is astronomical); each candidate is confirmed by a
+// bounded Solve, and a probe that hits its search budget keeps the
+// candidate (sound over-approximation). This is the state-transition-
+// graph extraction of §6. Returns nil (no information) when the
+// register exceeds 64 bits or the D cube has more than maxCands
+// completions.
+func SuccessorSet(nl *netlist.Netlist, ff netlist.GateID, v uint64, maxCands int) []uint64 {
+	g := &nl.Gates[ff]
+	q, d := g.Out, g.In[0]
+	w := nl.Width(q)
+	if w > 64 {
+		return nil
+	}
+	if maxCands <= 0 {
+		maxCands = 256
+	}
+	e, err := NewWithFeatures(nl, 1, ModeProve, Limits{}, nil, true, Features{})
+	if err != nil {
+		return nil
+	}
+	if !e.assign(0, q, bv.FromUint64(w, v)) || !e.propagate() {
+		return []uint64{} // state v itself is inconsistent
+	}
+	base := e.vals[0][d]
+	if base.CountSolutions() > uint64(maxCands) {
+		return nil // next state too input-dependent: no information
+	}
+	probeLimits := Limits{MaxDecisions: 2000, MaxBacktracks: 4000}
+	var out []uint64
+	enumCubeValues(base, func(u uint64) bool {
+		// Confirm with a bounded search on a fresh engine; ModeWitness
+		// polarity reaches a satisfying assignment fastest.
+		pe, err := NewWithFeatures(nl, 1, ModeWitness, probeLimits, nil, true, Features{})
+		if err != nil {
+			out = append(out, u)
+			return true
+		}
+		ok := pe.Require(0, q, bv.FromUint64(w, v)) && pe.Require(0, d, bv.FromUint64(w, u))
+		if ok && pe.Solve() != StatusUnsat {
+			out = append(out, u)
+		}
+		return true
+	})
+	return out
+}
+
+// enumCubeValues calls fn for every completion of a cube (width <= 64)
+// until fn returns false.
+func enumCubeValues(c bv.BV, fn func(v uint64) bool) {
+	w := c.Width()
+	var xbits []int
+	base := uint64(0)
+	for i := 0; i < w; i++ {
+		switch c.Bit(i) {
+		case bv.X:
+			xbits = append(xbits, i)
+		case bv.One:
+			base |= uint64(1) << uint(i)
+		}
+	}
+	total := uint64(1) << uint(len(xbits))
+	for t := uint64(0); t < total; t++ {
+		v := base
+		for k, pos := range xbits {
+			if t>>uint(k)&1 == 1 {
+				v |= uint64(1) << uint(pos)
+			}
+		}
+		if !fn(v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,528 @@
+package atpg
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+)
+
+// alternative is one way to extend the current assignment.
+type alternative struct {
+	asg []requirement
+}
+
+// decision is a branch point: an ordered list of alternatives, the
+// first of which is currently applied.
+type decision struct {
+	alts []alternative
+	idx  int
+}
+
+// Solve runs the two-phase constraint solving of Fig. 1 / Fig. 2:
+// word-level implication, probability-guided justification decisions on
+// control signals, and modular arithmetic solving of the residual
+// datapath constraints, iterating with chronological backtracking.
+func (e *Engine) Solve() Status {
+	if e.limits.Timeout > 0 {
+		e.deadline = time.Now().Add(e.limits.Timeout)
+	}
+	e.incomplete = false
+	var stack []*decision
+
+	backtrack := func() bool {
+		for len(stack) > 0 {
+			d := stack[len(stack)-1]
+			e.recordConflictState()
+			e.popLevel()
+			d.idx++
+			if d.idx < len(d.alts) {
+				e.pushLevel()
+				if e.applyAlt(d.alts[d.idx]) {
+					return true
+				}
+				// Immediate conflict: undo and keep flipping.
+				continue
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return false
+	}
+
+	if !e.propagate() {
+		return StatusUnsat
+	}
+	for {
+		if e.timedOut() || e.stats.Decisions > e.limits.MaxDecisions || e.stats.Backtracks > e.limits.MaxBacktracks {
+			return StatusAbort
+		}
+		unjust := e.unjustifiedGates()
+		if len(unjust) == 0 {
+			return StatusSat
+		}
+		var d *decision
+		if cd := e.makeControlDecision(unjust); cd != nil {
+			d = cd
+		} else {
+			prog, conflict, md := false, false, (*decision)(nil)
+			if !e.features.NoArithSolver {
+				prog, conflict, md = e.datapathPhase(unjust)
+			}
+			if conflict {
+				if !backtrack() {
+					return e.exhausted()
+				}
+				if !e.propagate() {
+					if !backtrack() {
+						return e.exhausted()
+					}
+				}
+				continue
+			}
+			if md != nil {
+				d = md
+			} else if dd := e.makeDomainDecision(); dd != nil {
+				// Branch over the reachable states of a local FSM whose
+				// register is still undetermined — one alternative per
+				// feasible value, far cheaper than pinning bits of the
+				// vectors derived from it.
+				d = dd
+			} else if prog {
+				if !e.propagate() {
+					if !backtrack() {
+						return e.exhausted()
+					}
+				}
+				continue
+			} else if fd := e.makeFallbackDecision(unjust); fd != nil {
+				// Last resort: branch on an unknown bit feeding an
+				// unjustified gate. This departs from the paper's
+				// "control decisions only" discipline just enough to
+				// stay complete on disjunctive datapath requirements
+				// (e.g. a required != over an all-x vector) that the
+				// linear solver cannot express.
+				d = fd
+			} else {
+				// Stuck: nothing justiciable and no datapath progress.
+				e.incomplete = true
+				if !backtrack() {
+					return e.exhausted()
+				}
+				if !e.propagate() {
+					if !backtrack() {
+						return e.exhausted()
+					}
+				}
+				continue
+			}
+		}
+		e.stats.Decisions++
+		stack = append(stack, d)
+		e.pushLevel()
+		ok := e.applyAlt(d.alts[0]) && e.propagate()
+		for !ok {
+			if !backtrack() {
+				return e.exhausted()
+			}
+			ok = e.propagate()
+		}
+	}
+}
+
+// exhausted maps a fully explored search to Unsat, unless some branch
+// was abandoned due to engine incompleteness (wide datapaths, dynamic
+// shifts...), in which case the honest answer is Abort.
+func (e *Engine) exhausted() Status {
+	if e.incomplete {
+		return StatusAbort
+	}
+	return StatusUnsat
+}
+
+// applyAlt applies all assignments of one alternative.
+func (e *Engine) applyAlt(a alternative) bool {
+	for _, r := range a.asg {
+		if !e.assign(r.frame, r.sig, r.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// recordConflictState feeds the extended state transition graph: the
+// abstract control state of every frame whose state is fully known at
+// the moment of a conflict is recorded, along with conflicting
+// transitions between adjacent known frames (§1: "whenever the search
+// encounters a conflict in an abstract state transition ... the
+// transition in the ESTG is recorded").
+func (e *Engine) recordConflictState() {
+	if e.store == nil || len(e.controlFFs) == 0 {
+		return
+	}
+	prevKnown := ""
+	for f := 0; f < e.frames; f++ {
+		key := e.stateKey(f)
+		known := true
+		for i := 0; i < len(key); i++ {
+			if key[i] == '0'+byte(bv.X) {
+				known = false
+				break
+			}
+		}
+		if known {
+			e.store.RecordConflict(key)
+			if prevKnown != "" {
+				e.store.RecordConflictTransition(prevKnown, key)
+			}
+			prevKnown = key
+		} else {
+			prevKnown = ""
+		}
+	}
+}
+
+// sigAt identifies a signal instance in one frame.
+type sigAt struct {
+	frame int32
+	sig   netlist.SignalID
+}
+
+// candidate is a potential decision point with its legal-1 probability.
+type candidate struct {
+	at     sigAt
+	p1     float64
+	fanout int
+}
+
+// bias is the legal assignment bias of Definition 2.
+func (c candidate) bias() float64 {
+	p := c.p1
+	if p < 1e-9 {
+		p = 1e-9
+	}
+	if p > 1-1e-9 {
+		p = 1 - 1e-9
+	}
+	if p >= 0.5 {
+		return p / (1 - p)
+	}
+	return (1 - p) / p
+}
+
+// biasValue is the likelier-legal value.
+func (c candidate) biasValue() bv.Trit {
+	if c.p1 >= 0.5 {
+		return bv.One
+	}
+	return bv.Zero
+}
+
+// makeControlDecision finds the decision-point cut backward from the
+// unjustified control-class gates (§3.2): breadth-first traversal
+// stopping at control PIs, flip-flops, comparator outputs and
+// multiple-fanout internal gates, with legal-1 probabilities computed
+// along the way (Rules 3–5). Returns nil when no control decision is
+// available (datapath-only residue).
+func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
+	// Seed the backward traversal from non-arithmetic unjustified gates.
+	type workItem struct {
+		at sigAt
+		p1 float64
+	}
+	var queue []workItem
+	probSum := map[sigAt]float64{}
+	probCnt := map[sigAt]int{}
+	push := func(at sigAt, p1 float64) {
+		probSum[at] += p1
+		probCnt[at]++
+		queue = append(queue, workItem{at, p1})
+	}
+	for _, u := range unjust {
+		g := &e.nl.Gates[u.gate]
+		if g.Kind.IsArith() {
+			continue
+		}
+		out := e.vals[u.frame][g.Out]
+		var pOut float64 = 0.5
+		if out.Width() == 1 && out.Bit(0) != bv.X {
+			if out.Bit(0) == bv.One {
+				pOut = 1.0
+			} else {
+				pOut = 0.0
+			}
+		}
+		e.seedGateInputs(u, g, pOut, push)
+	}
+	// BFS with per-signal classification.
+	var cands []candidate
+	visited := map[sigAt]bool{}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if visited[it.at] {
+			continue
+		}
+		visited[it.at] = true
+		f, s := int(it.at.frame), it.at.sig
+		v := e.vals[f][s]
+		sig := &e.nl.Signals[s]
+		w := sig.Width
+		hasX := !v.IsFullyKnown()
+		if !hasX {
+			continue // already determined
+		}
+		p1 := probSum[it.at] / float64(probCnt[it.at])
+		drv := sig.Driver
+		isCtl := w == 1
+		switch {
+		case drv == netlist.None:
+			if isCtl {
+				cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+			}
+			// Datapath PIs are free; no decision needed.
+		case e.nl.Gates[drv].Kind == netlist.KDff:
+			if f > 0 {
+				// Traverse through the register to the previous frame.
+				push(sigAt{int32(f - 1), e.nl.Gates[drv].In[0]}, p1)
+			} else if isCtl {
+				// Uninitialized control state bit at frame 0.
+				cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+			}
+		case e.nl.Gates[drv].Kind.IsComparator():
+			if isCtl {
+				cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+			}
+		case e.nl.Gates[drv].Kind.IsArith():
+			// Stop: datapath territory.
+		case isCtl && len(sig.Fanout) > 1:
+			cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+		default:
+			// Descend into the driver gate.
+			g := &e.nl.Gates[drv]
+			e.seedGateInputs(gateAt{int32(f), drv}, g, p1, push)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// If the candidate list is large, keep the highest-fanout subset
+	// (§3.2: "a subset of them is selected as the decision nodes").
+	const maxCands = 64
+	if len(cands) > maxCands {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].fanout > cands[j].fanout })
+		cands = cands[:maxCands]
+	}
+	// Highest bias first (Definition 2). The ablation mode keeps a
+	// deterministic structural order with fixed polarity instead.
+	if e.features.NoProbabilityOrder {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].at.frame != cands[j].at.frame {
+				return cands[i].at.frame < cands[j].at.frame
+			}
+			return cands[i].at.sig < cands[j].at.sig
+		})
+		best := cands[0]
+		mk := func(t bv.Trit) alternative {
+			return alternative{asg: []requirement{{int(best.at.frame), best.at.sig, bv.NewX(1).WithBit(0, t)}}}
+		}
+		return &decision{alts: []alternative{mk(bv.Zero), mk(bv.One)}}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		bi, bj := cands[i].bias(), cands[j].bias()
+		if bi != bj {
+			return bi > bj
+		}
+		if cands[i].at.frame != cands[j].at.frame {
+			return cands[i].at.frame > cands[j].at.frame
+		}
+		return cands[i].at.sig < cands[j].at.sig
+	})
+	best := cands[0]
+	first := best.biasValue()
+	if e.mode == ModeProve {
+		// Assign the complement first so conflicts surface early.
+		first = complement(first)
+	}
+	mk := func(t bv.Trit) alternative {
+		return alternative{asg: []requirement{{int(best.at.frame), best.at.sig, bv.NewX(1).WithBit(0, t)}}}
+	}
+	return &decision{alts: []alternative{mk(first), mk(complement(first))}}
+}
+
+func complement(t bv.Trit) bv.Trit {
+	if t == bv.One {
+		return bv.Zero
+	}
+	return bv.One
+}
+
+// makeDomainDecision branches over the feasible values of a
+// domain-restricted register that is not yet fully known: any solution
+// must assign it one of its reachable values, so the alternatives are
+// exhaustive. The register with the fewest feasible values is chosen.
+func (e *Engine) makeDomainDecision() *decision {
+	bestCount := 65
+	var bestAlts []alternative
+	e.EachDomain(func(d Domain) {
+		if d.Enumerate == nil {
+			return
+		}
+		for f := 0; f < e.frames; f++ {
+			cube := e.vals[f][d.Sig]
+			if cube.IsFullyKnown() {
+				continue
+			}
+			var vals []uint64
+			full := false
+			d.Enumerate(f, cube, func(v uint64) bool {
+				vals = append(vals, v)
+				if len(vals) >= bestCount {
+					full = true
+					return false
+				}
+				return true
+			})
+			if full || len(vals) == 0 || len(vals) >= bestCount {
+				continue
+			}
+			w := e.nl.Width(d.Sig)
+			alts := make([]alternative, len(vals))
+			for i, v := range vals {
+				alts[i] = alternative{asg: []requirement{{f, d.Sig, bv.FromUint64(w, v)}}}
+			}
+			bestCount = len(vals)
+			bestAlts = alts
+		}
+	})
+	if bestAlts == nil {
+		return nil
+	}
+	return &decision{alts: bestAlts}
+}
+
+// EachDomain visits the registered domains.
+func (e *Engine) EachDomain(fn func(Domain)) {
+	for _, d := range e.domains {
+		fn(d)
+	}
+}
+
+// makeFallbackDecision branches on a single unknown bit of a signal
+// feeding an unjustified gate. The candidate is the globally narrowest
+// unknown input across all unjustified gates — narrow signals are
+// select/address-like and prune the most per decision — and within it
+// the most significant unknown bit (word-level implication extracts
+// the most from high bits — cf. Rule 2).
+func (e *Engine) makeFallbackDecision(unjust []gateAt) *decision {
+	bestSig := netlist.SignalID(netlist.None)
+	bestFrame := 0
+	bestW := 1 << 30
+	for _, u := range unjust {
+		g := &e.nl.Gates[u.gate]
+		f := int(u.frame)
+		for _, s := range g.In {
+			v := e.vals[f][s]
+			if v.IsFullyKnown() {
+				continue
+			}
+			if w := e.nl.Width(s); w < bestW {
+				bestW, bestSig, bestFrame = w, s, f
+			}
+		}
+	}
+	if bestSig == netlist.None {
+		return nil
+	}
+	f := bestFrame
+	v := e.vals[f][bestSig]
+	for i := v.Width() - 1; i >= 0; i-- {
+		if v.Bit(i) != bv.X {
+			continue
+		}
+		first := bv.One
+		if e.mode == ModeProve {
+			first = bv.Zero
+		}
+		mk := func(t bv.Trit) alternative {
+			return alternative{asg: []requirement{{f, bestSig, bv.NewX(v.Width()).WithBit(i, t)}}}
+		}
+		return &decision{alts: []alternative{mk(first), mk(complement(first))}}
+	}
+	return nil
+}
+
+// seedGateInputs pushes the unknown inputs of a gate with their legal-1
+// probabilities per Rule 4 (plus mux/select handling). pOut is the
+// legal-1 probability of the gate output requirement.
+func (e *Engine) seedGateInputs(at gateAt, g *netlist.Gate, pOut float64, push func(sigAt, float64)) {
+	f := at.frame
+	// Count unknown inputs.
+	nUnknown := 0
+	for _, s := range g.In {
+		if !e.vals[f][s].IsFullyKnown() {
+			nUnknown++
+		}
+	}
+	if nUnknown == 0 {
+		return
+	}
+	n := float64(nUnknown)
+	p1, p0 := pOut, 1-pOut
+	q := 0.5
+	switch g.Kind {
+	case netlist.KBuf:
+		q = p1
+	case netlist.KNot:
+		q = p0
+	case netlist.KAnd, netlist.KRedAnd:
+		q = p1*1.0 + p0*andZeroQ(n)
+	case netlist.KOr, netlist.KRedOr:
+		q = p1*orOneQ(n) + p0*0.0
+	case netlist.KNand:
+		q = p0*1.0 + p1*andZeroQ(n)
+	case netlist.KNor:
+		q = p0*orOneQ(n) + p1*0.0
+	case netlist.KXor, netlist.KXnor, netlist.KRedXor:
+		q = 0.5
+	case netlist.KMux:
+		// Select gets 0.5; data inputs inherit the output probability.
+		push(sigAt{f, g.In[0]}, 0.5)
+		for _, d := range g.In[1:] {
+			if !e.vals[f][d].IsFullyKnown() {
+				push(sigAt{f, d}, pOut)
+			}
+		}
+		return
+	default:
+		q = 0.5
+	}
+	for _, s := range g.In {
+		if !e.vals[f][s].IsFullyKnown() {
+			push(sigAt{f, s}, q)
+		}
+	}
+}
+
+// andZeroQ is the legal-1 probability of an input of an AND gate whose
+// output must be 0 with n unknown inputs: (2^(n-1)-1)/(2^n-1).
+func andZeroQ(n float64) float64 {
+	num := math.Exp2(n-1) - 1
+	den := math.Exp2(n) - 1
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// orOneQ is the legal-1 probability of an input of an OR gate whose
+// output must be 1 with n unknown inputs: 2^(n-1)/(2^n-1).
+func orOneQ(n float64) float64 {
+	num := math.Exp2(n - 1)
+	den := math.Exp2(n) - 1
+	if den <= 0 {
+		return 1
+	}
+	return num / den
+}

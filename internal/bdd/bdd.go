@@ -1,0 +1,315 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (Bryant, paper ref. [12]) with a hashed unique table and memoized
+// apply — the substrate of the BDD-based symbolic model checking
+// baseline (internal/mc) whose memory behaviour §1 and §5 contrast
+// with the ATPG approach.
+package bdd
+
+import "fmt"
+
+// Ref is a node reference. Refs 0 and 1 are the constant terminals.
+type Ref int32
+
+// Terminal references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+const termLevel = int32(1 << 30)
+
+type node struct {
+	level  int32
+	lo, hi Ref
+}
+
+type applyKey struct {
+	op   uint8
+	f, g Ref
+}
+
+// Op codes for Apply.
+const (
+	opAnd uint8 = iota
+	opOr
+	opXor
+)
+
+// Manager owns the node pool. The zero value is not usable; call New.
+type Manager struct {
+	nodes    []node
+	unique   map[node]Ref
+	apply    map[applyKey]Ref
+	nVars    int
+	MaxNodes int // 0 = unlimited; exceeded operations panic with ErrNodeLimit
+}
+
+// ErrNodeLimit is panicked (and recovered by the model checker) when
+// MaxNodes is exceeded — the BDD blow-up signal.
+var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded")
+
+// New returns a manager with n variables (levels 0..n-1).
+func New(n int) *Manager {
+	m := &Manager{
+		nodes:  make([]node, 2, 1024),
+		unique: map[node]Ref{},
+		apply:  map[applyKey]Ref{},
+		nVars:  n,
+	}
+	m.nodes[0] = node{level: termLevel}
+	m.nodes[1] = node{level: termLevel}
+	return m
+}
+
+// NumNodes returns the number of allocated nodes (memory proxy).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.nVars }
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// mk returns the canonical node (level, lo, hi).
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
+		panic(ErrNodeLimit)
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the BDD of variable v.
+func (m *Manager) Var(v int) Ref {
+	if v < 0 || v >= m.nVars {
+		panic("bdd: variable out of range")
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD of ¬v.
+func (m *Manager) NVar(v int) Ref {
+	return m.mk(int32(v), True, False)
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.Xor(f, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.applyOp(opAnd, f, g) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.applyOp(opOr, f, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.applyOp(opXor, f, g) }
+
+// Xnor returns f ↔ g.
+func (m *Manager) Xnor(f, g Ref) Ref { return m.Not(m.Xor(f, g)) }
+
+// Ite returns if-then-else(f, g, h).
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	return m.Or(m.And(f, g), m.And(m.Not(f), h))
+}
+
+func terminalApply(op uint8, f, g Ref) (Ref, bool) {
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False, true
+		}
+		if f == True {
+			return g, true
+		}
+		if g == True {
+			return f, true
+		}
+		if f == g {
+			return f, true
+		}
+	case opOr:
+		if f == True || g == True {
+			return True, true
+		}
+		if f == False {
+			return g, true
+		}
+		if g == False {
+			return f, true
+		}
+		if f == g {
+			return f, true
+		}
+	case opXor:
+		if f == g {
+			return False, true
+		}
+		if f == False {
+			return g, true
+		}
+		if g == False {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+func (m *Manager) applyOp(op uint8, f, g Ref) Ref {
+	if r, ok := terminalApply(op, f, g); ok {
+		return r
+	}
+	// Normalize operand order for the commutative cache.
+	if f > g {
+		f, g = g, f
+	}
+	key := applyKey{op, f, g}
+	if r, ok := m.apply[key]; ok {
+		return r
+	}
+	lf, lg := m.level(f), m.level(g)
+	top := lf
+	if lg < top {
+		top = lg
+	}
+	var f0, f1, g0, g1 Ref
+	if lf == top {
+		f0, f1 = m.nodes[f].lo, m.nodes[f].hi
+	} else {
+		f0, f1 = f, f
+	}
+	if lg == top {
+		g0, g1 = m.nodes[g].lo, m.nodes[g].hi
+	} else {
+		g0, g1 = g, g
+	}
+	r := m.mk(top, m.applyOp(op, f0, g0), m.applyOp(op, f1, g1))
+	m.apply[key] = r
+	return r
+}
+
+// Exists existentially quantifies all variables for which quant
+// returns true.
+func (m *Manager) Exists(f Ref, quant func(v int) bool) Ref {
+	memo := map[Ref]Ref{}
+	var rec func(Ref) Ref
+	rec = func(f Ref) Ref {
+		if f == True || f == False {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		lo, hi := rec(n.lo), rec(n.hi)
+		var r Ref
+		if quant(int(n.level)) {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(n.level, lo, hi)
+		}
+		memo[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Rename maps each variable to rename(v); the mapping must be strictly
+// monotone on the variables present in f (order-preserving), or the
+// result would not be reduced-ordered.
+func (m *Manager) Rename(f Ref, rename func(v int) int) Ref {
+	memo := map[Ref]Ref{}
+	var rec func(Ref) Ref
+	rec = func(f Ref) Ref {
+		if f == True || f == False {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		n := m.nodes[f]
+		r := m.mk(int32(rename(int(n.level))), rec(n.lo), rec(n.hi))
+		memo[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// SatCount returns the number of satisfying assignments over the full
+// variable set (as float64 — counts overflow uint64 quickly).
+func (m *Manager) SatCount(f Ref) float64 {
+	lvl := func(r Ref) int {
+		if l := m.level(r); l != termLevel {
+			return int(l)
+		}
+		return m.nVars
+	}
+	memo := map[Ref]float64{}
+	// rec(f) counts assignments of the variables at levels >= lvl(f).
+	var rec func(Ref) float64
+	rec = func(f Ref) float64 {
+		if f == False {
+			return 0
+		}
+		if f == True {
+			return 1
+		}
+		if c, ok := memo[f]; ok {
+			return c
+		}
+		n := m.nodes[f]
+		c := rec(n.lo)*pow2(lvl(n.lo)-int(n.level)-1) +
+			rec(n.hi)*pow2(lvl(n.hi)-int(n.level)-1)
+		memo[f] = c
+		return c
+	}
+	return rec(f) * pow2(lvl(f))
+}
+
+func pow2(n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// AnySat returns one satisfying assignment as a map var -> value, or
+// false if f is unsatisfiable. Unmentioned variables are unconstrained.
+func (m *Manager) AnySat(f Ref) (map[int]bool, bool) {
+	if f == False {
+		return nil, false
+	}
+	out := map[int]bool{}
+	for f != True {
+		n := m.nodes[f]
+		if n.hi != False {
+			out[int(n.level)] = true
+			f = n.hi
+		} else {
+			out[int(n.level)] = false
+			f = n.lo
+		}
+	}
+	return out, true
+}
+
+// Eval evaluates f under a complete assignment.
+func (m *Manager) Eval(f Ref, assign func(v int) bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign(int(n.level)) {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}

@@ -1,0 +1,184 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	ab := m.And(a, b)
+	if m.Eval(ab, func(v int) bool { return true }) != true {
+		t.Error("a∧b under all-true")
+	}
+	if m.Eval(ab, func(v int) bool { return v != 1 }) != false {
+		t.Error("a∧b with b=0")
+	}
+	or := m.Or(ab, c)
+	if !m.Eval(or, func(v int) bool { return v == 2 }) {
+		t.Error("(a∧b)∨c with only c")
+	}
+	if m.Not(m.Not(a)) != a {
+		t.Error("double negation not canonical")
+	}
+	if m.Xor(a, a) != False {
+		t.Error("a⊕a should be False")
+	}
+	if m.And(a, m.Not(a)) != False {
+		t.Error("a∧¬a should be False")
+	}
+	if m.Or(a, m.Not(a)) != True {
+		t.Error("a∨¬a should be True")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(4)
+	// Build the same function two ways; refs must be identical.
+	a, b := m.Var(0), m.Var(1)
+	f1 := m.Or(m.And(a, b), m.And(m.Not(a), b))
+	f2 := b
+	if f1 != f2 {
+		t.Errorf("ab + ¬ab should reduce to b: %d vs %d", f1, f2)
+	}
+	g1 := m.Ite(a, b, m.Not(b))
+	g2 := m.Xnor(a, b)
+	if g1 != g2 {
+		t.Error("ite(a,b,¬b) should equal a↔b")
+	}
+}
+
+func TestRandomAgainstTruthTable(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	n := 5
+	for trial := 0; trial < 60; trial++ {
+		m := New(n)
+		// Random expression tree over n vars, evaluated both ways.
+		type fn struct {
+			ref Ref
+			tt  uint32 // truth table over 2^5 = 32 rows
+		}
+		var leaves []fn
+		for v := 0; v < n; v++ {
+			var tt uint32
+			for row := 0; row < 32; row++ {
+				if row>>uint(v)&1 == 1 {
+					tt |= 1 << uint(row)
+				}
+			}
+			leaves = append(leaves, fn{m.Var(v), tt})
+		}
+		for step := 0; step < 12; step++ {
+			a := leaves[r.Intn(len(leaves))]
+			b := leaves[r.Intn(len(leaves))]
+			var nf fn
+			switch r.Intn(4) {
+			case 0:
+				nf = fn{m.And(a.ref, b.ref), a.tt & b.tt}
+			case 1:
+				nf = fn{m.Or(a.ref, b.ref), a.tt | b.tt}
+			case 2:
+				nf = fn{m.Xor(a.ref, b.ref), a.tt ^ b.tt}
+			case 3:
+				nf = fn{m.Not(a.ref), ^a.tt}
+			}
+			leaves = append(leaves, nf)
+		}
+		f := leaves[len(leaves)-1]
+		for row := 0; row < 32; row++ {
+			want := f.tt>>uint(row)&1 == 1
+			got := m.Eval(f.ref, func(v int) bool { return row>>uint(v)&1 == 1 })
+			if got != want {
+				t.Fatalf("trial %d row %d: bdd=%v tt=%v", trial, row, got, want)
+			}
+		}
+		// SatCount must match the popcount of the truth table.
+		pc := 0
+		for row := 0; row < 32; row++ {
+			if f.tt>>uint(row)&1 == 1 {
+				pc++
+			}
+		}
+		if got := m.SatCount(f.ref); got != float64(pc) {
+			t.Fatalf("trial %d: satcount=%v, want %d", trial, got, pc)
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	// ∃a. a∧b = b
+	g := m.Exists(f, func(v int) bool { return v == 0 })
+	if g != b {
+		t.Errorf("∃a.(a∧b) = %d, want b=%d", g, b)
+	}
+	// ∃a,b. a∧b = true
+	g = m.Exists(f, func(v int) bool { return v <= 1 })
+	if g != True {
+		t.Error("∃a,b.(a∧b) should be True")
+	}
+	// ∃c (absent) is identity.
+	if m.Exists(f, func(v int) bool { return v == 2 }) != f {
+		t.Error("quantifying an absent variable changed f")
+	}
+}
+
+func TestRename(t *testing.T) {
+	m := New(4)
+	// f over odd vars 1,3; rename to 0,2 (monotone).
+	f := m.And(m.Var(1), m.Var(3))
+	g := m.Rename(f, func(v int) int { return v - 1 })
+	want := m.And(m.Var(0), m.Var(2))
+	if g != want {
+		t.Errorf("rename result %d, want %d", g, want)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(3)
+	f := m.And(m.Var(0), m.NVar(2))
+	asg, ok := m.AnySat(f)
+	if !ok {
+		t.Fatal("satisfiable function reported unsat")
+	}
+	if asg[0] != true || asg[2] != false {
+		t.Errorf("assignment %v", asg)
+	}
+	if _, ok := m.AnySat(False); ok {
+		t.Error("False reported sat")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := New(20)
+	m.MaxNodes = 50
+	defer func() {
+		if recover() != ErrNodeLimit {
+			t.Error("expected ErrNodeLimit panic")
+		}
+	}()
+	// Build something big enough to blow the limit.
+	f := True
+	for i := 0; i < 20; i += 2 {
+		f = m.And(f, m.Xor(m.Var(i), m.Var(i+1)))
+	}
+	_ = f
+}
+
+func TestNumNodesGrows(t *testing.T) {
+	m := New(8)
+	before := m.NumNodes()
+	f := True
+	for i := 0; i < 8; i++ {
+		f = m.And(f, m.Var(i))
+	}
+	if m.NumNodes() <= before {
+		t.Error("node count did not grow")
+	}
+	if m.NumVars() != 8 {
+		t.Error("NumVars wrong")
+	}
+}

@@ -1,0 +1,589 @@
+// Package bv implements three-valued bit-vectors (cubes) of arbitrary
+// width, the value domain of the word-level ATPG engine described in
+// Huang & Cheng, "Assertion Checking by Combined Word-level ATPG and
+// Modular Arithmetic Constraint-Solving Techniques" (DAC 2000), §3.1.
+//
+// Each bit of a BV is 0, 1 or x (unknown). A BV therefore denotes the
+// set (cube) of all fully-known bit-vectors obtained by replacing every
+// x with 0 or 1. Word-level logic implication refines cubes: known bits
+// are only ever added, never retracted, within one decision level.
+//
+// The representation is a pair of word slices (val, known): bit i is
+// known iff known has bit i set, in which case its value is the i-th
+// bit of val. Unknown positions keep val at 0 so that equal cubes are
+// representation-equal, which makes Equal and hashing cheap.
+package bv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trit is a single three-valued bit.
+type Trit uint8
+
+// The three trit values.
+const (
+	Zero Trit = iota // known 0
+	One              // known 1
+	X                // unknown
+)
+
+// String returns "0", "1" or "x".
+func (t Trit) String() string {
+	switch t {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "x"
+	}
+}
+
+const wordBits = 64
+
+// BV is a three-valued bit-vector. The zero value is a width-0 vector.
+// BV values are immutable by convention: all operations return new
+// vectors and never modify their receivers or operands.
+type BV struct {
+	width int
+	val   []uint64
+	known []uint64
+}
+
+func words(width int) int { return (width + wordBits - 1) / wordBits }
+
+// lastMask returns the mask of valid bits in the final word.
+func lastMask(width int) uint64 {
+	r := width % wordBits
+	if r == 0 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << r) - 1
+}
+
+// NewX returns an all-unknown vector of the given width.
+func NewX(width int) BV {
+	if width < 0 {
+		panic("bv: negative width")
+	}
+	return BV{width: width, val: make([]uint64, words(width)), known: make([]uint64, words(width))}
+}
+
+// FromUint64 returns a fully-known vector holding v truncated to width.
+func FromUint64(width int, v uint64) BV {
+	b := NewX(width)
+	if width == 0 {
+		return b
+	}
+	if width < wordBits {
+		v &= (uint64(1) << width) - 1
+	}
+	b.val[0] = v
+	for i := range b.known {
+		b.known[i] = ^uint64(0)
+	}
+	b.known[len(b.known)-1] &= lastMask(width)
+	if width < wordBits {
+		b.val[0] &= lastMask(width)
+	}
+	return b
+}
+
+// Ones returns the fully-known all-ones vector of the given width.
+func Ones(width int) BV {
+	b := NewX(width)
+	for i := range b.val {
+		b.val[i] = ^uint64(0)
+		b.known[i] = ^uint64(0)
+	}
+	if width > 0 {
+		m := lastMask(width)
+		b.val[len(b.val)-1] &= m
+		b.known[len(b.known)-1] &= m
+	}
+	return b
+}
+
+// Parse parses a Verilog-style literal such as "4'b10xx", "8'hff",
+// "12'd100", or a plain binary/decimal string ("10xx" is binary with
+// width 4, "13" needs an explicit width prefix). It returns an error
+// for malformed input or values that do not fit the declared width.
+func Parse(s string) (BV, error) {
+	tick := strings.IndexByte(s, '\'')
+	if tick < 0 {
+		// Bare binary string possibly containing x.
+		return parseBinary(len(s), s)
+	}
+	var width int
+	if _, err := fmt.Sscanf(s[:tick], "%d", &width); err != nil {
+		return BV{}, fmt.Errorf("bv: bad width in %q", s)
+	}
+	if width <= 0 {
+		return BV{}, fmt.Errorf("bv: non-positive width in %q", s)
+	}
+	if tick+1 >= len(s) {
+		return BV{}, fmt.Errorf("bv: missing base in %q", s)
+	}
+	base := s[tick+1]
+	digits := strings.ReplaceAll(s[tick+2:], "_", "")
+	switch base {
+	case 'b', 'B':
+		return parseBinary(width, digits)
+	case 'h', 'H':
+		return parseHex(width, digits)
+	case 'd', 'D':
+		var v uint64
+		if _, err := fmt.Sscanf(digits, "%d", &v); err != nil {
+			return BV{}, fmt.Errorf("bv: bad decimal digits in %q", s)
+		}
+		if width < wordBits && v >= uint64(1)<<width {
+			return BV{}, fmt.Errorf("bv: value %d does not fit %d bits", v, width)
+		}
+		return FromUint64(width, v), nil
+	case 'o', 'O':
+		b := NewX(width)
+		pos := 0
+		for i := len(digits) - 1; i >= 0; i-- {
+			c := digits[i]
+			if c == 'x' || c == 'X' {
+				pos += 3
+				continue
+			}
+			if c < '0' || c > '7' {
+				return BV{}, fmt.Errorf("bv: bad octal digit %q", c)
+			}
+			v := uint64(c - '0')
+			for k := 0; k < 3 && pos < width; k++ {
+				b = b.WithBit(pos, Trit((v>>k)&1))
+				pos++
+			}
+		}
+		return b, nil
+	default:
+		return BV{}, fmt.Errorf("bv: unknown base %q in %q", base, s)
+	}
+}
+
+func parseBinary(width int, digits string) (BV, error) {
+	b := NewX(width)
+	pos := 0
+	for i := len(digits) - 1; i >= 0; i-- {
+		c := digits[i]
+		if c == '_' {
+			continue
+		}
+		if pos >= width {
+			return BV{}, fmt.Errorf("bv: %q wider than %d bits", digits, width)
+		}
+		switch c {
+		case '0':
+			b = b.WithBit(pos, Zero)
+		case '1':
+			b = b.WithBit(pos, One)
+		case 'x', 'X', '?':
+			// already x
+		default:
+			return BV{}, fmt.Errorf("bv: bad binary digit %q", c)
+		}
+		pos++
+	}
+	return b, nil
+}
+
+func parseHex(width int, digits string) (BV, error) {
+	b := NewX(width)
+	pos := 0
+	for i := len(digits) - 1; i >= 0; i-- {
+		c := digits[i]
+		var v uint64
+		switch {
+		case c == 'x' || c == 'X' || c == '?':
+			pos += 4
+			continue
+		case c >= '0' && c <= '9':
+			v = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v = uint64(c-'A') + 10
+		default:
+			return BV{}, fmt.Errorf("bv: bad hex digit %q", c)
+		}
+		for k := 0; k < 4 && pos < width; k++ {
+			b = b.WithBit(pos, Trit((v>>k)&1))
+			pos++
+		}
+	}
+	return b, nil
+}
+
+// ParseVerilog parses a literal with Verilog semantics: strings without
+// a base tick are unsized decimals (32 bits); everything else follows
+// Parse. bv.Parse by contrast treats bare strings as binary, which is
+// handy for tests but wrong for Verilog source.
+func ParseVerilog(s string) (BV, error) {
+	if !strings.ContainsRune(s, '\'') {
+		var v uint64
+		clean := strings.ReplaceAll(s, "_", "")
+		if _, err := fmt.Sscanf(clean, "%d", &v); err != nil {
+			return BV{}, fmt.Errorf("bv: bad decimal literal %q", s)
+		}
+		return FromUint64(32, v), nil
+	}
+	return Parse(s)
+}
+
+// MustParse is Parse but panics on error; for literals in tests and tables.
+func MustParse(s string) BV {
+	b, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Width returns the number of bits.
+func (b BV) Width() int { return b.width }
+
+// Bit returns the trit at position i (bit 0 is the LSB).
+func (b BV) Bit(i int) Trit {
+	if i < 0 || i >= b.width {
+		panic(fmt.Sprintf("bv: bit %d out of range for width %d", i, b.width))
+	}
+	w, s := i/wordBits, uint(i%wordBits)
+	if b.known[w]>>s&1 == 0 {
+		return X
+	}
+	return Trit(b.val[w] >> s & 1)
+}
+
+// WithBit returns a copy of b with bit i set to t.
+func (b BV) WithBit(i int, t Trit) BV {
+	if i < 0 || i >= b.width {
+		panic(fmt.Sprintf("bv: bit %d out of range for width %d", i, b.width))
+	}
+	c := b.Clone()
+	w, s := i/wordBits, uint(i%wordBits)
+	switch t {
+	case X:
+		c.known[w] &^= uint64(1) << s
+		c.val[w] &^= uint64(1) << s
+	case Zero:
+		c.known[w] |= uint64(1) << s
+		c.val[w] &^= uint64(1) << s
+	case One:
+		c.known[w] |= uint64(1) << s
+		c.val[w] |= uint64(1) << s
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (b BV) Clone() BV {
+	c := BV{width: b.width, val: make([]uint64, len(b.val)), known: make([]uint64, len(b.known))}
+	copy(c.val, b.val)
+	copy(c.known, b.known)
+	return c
+}
+
+// IsAllX reports whether every bit is unknown.
+func (b BV) IsAllX() bool {
+	for _, k := range b.known {
+		if k != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFullyKnown reports whether no bit is unknown.
+func (b BV) IsFullyKnown() bool {
+	for i, k := range b.known {
+		m := ^uint64(0)
+		if i == len(b.known)-1 {
+			m = lastMask(b.width)
+		}
+		if b.width == 0 {
+			return true
+		}
+		if k&m != m {
+			return false
+		}
+	}
+	return true
+}
+
+// KnownCount returns the number of known bits.
+func (b BV) KnownCount() int {
+	n := 0
+	for i := 0; i < b.width; i++ {
+		if b.Bit(i) != X {
+			n++
+		}
+	}
+	return n
+}
+
+// Uint64 returns the value if the vector is fully known and fits in 64
+// bits; ok is false otherwise.
+func (b BV) Uint64() (v uint64, ok bool) {
+	if !b.IsFullyKnown() || b.width > wordBits {
+		return 0, false
+	}
+	if b.width == 0 {
+		return 0, true
+	}
+	return b.val[0], true
+}
+
+// Equal reports whether a and b have identical width and trits.
+func (b BV) Equal(o BV) bool {
+	if b.width != o.width {
+		return false
+	}
+	for i := range b.val {
+		if b.val[i] != o.val[i] || b.known[i] != o.known[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as a Verilog-style binary literal, e.g. "4'b10xx".
+func (b BV) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d'b", b.width)
+	for i := b.width - 1; i >= 0; i-- {
+		sb.WriteString(b.Bit(i).String())
+	}
+	if b.width == 0 {
+		sb.WriteString("0")
+	}
+	return sb.String()
+}
+
+// Key returns a compact string usable as a map key (state hashing for
+// the extended state transition graph).
+func (b BV) Key() string {
+	buf := make([]byte, 0, len(b.val)*16+2)
+	for i := range b.val {
+		for s := 0; s < 8; s++ {
+			buf = append(buf, byte(b.val[i]>>(8*s)))
+		}
+		for s := 0; s < 8; s++ {
+			buf = append(buf, byte(b.known[i]>>(8*s)))
+		}
+	}
+	return string(buf)
+}
+
+// normalize clears val bits that are not known and bits beyond width,
+// restoring the canonical representation invariant.
+func (b *BV) normalize() {
+	for i := range b.val {
+		b.val[i] &= b.known[i]
+	}
+	if b.width > 0 {
+		m := lastMask(b.width)
+		b.val[len(b.val)-1] &= m
+		b.known[len(b.known)-1] &= m
+	}
+}
+
+// Min returns the smallest fully-known vector in the cube (every x set
+// to 0). Interpreting vectors as unsigned integers.
+func (b BV) Min() BV {
+	c := b.Clone()
+	for i := range c.known {
+		c.known[i] = ^uint64(0)
+	}
+	c.normalize()
+	return c
+}
+
+// Max returns the largest fully-known vector in the cube (every x set to 1).
+func (b BV) Max() BV {
+	c := b.Clone()
+	for i := range c.val {
+		c.val[i] |= ^c.known[i]
+		c.known[i] = ^uint64(0)
+	}
+	c.normalize()
+	return c
+}
+
+// MinUint64 returns Min as a uint64; only valid for width <= 64.
+func (b BV) MinUint64() uint64 {
+	if b.width > wordBits {
+		panic("bv: MinUint64 on wide vector")
+	}
+	if b.width == 0 {
+		return 0
+	}
+	return b.val[0]
+}
+
+// MaxUint64 returns Max as a uint64; only valid for width <= 64.
+func (b BV) MaxUint64() uint64 {
+	if b.width > wordBits {
+		panic("bv: MaxUint64 on wide vector")
+	}
+	if b.width == 0 {
+		return 0
+	}
+	return b.val[0] | (^b.known[0] & lastMask(b.width))
+}
+
+// Cmp compares two fully-known vectors of equal width as unsigned
+// integers, returning -1, 0 or +1. It panics if either has unknown bits.
+func (b BV) Cmp(o BV) int {
+	if b.width != o.width {
+		panic("bv: Cmp width mismatch")
+	}
+	if !b.IsFullyKnown() || !o.IsFullyKnown() {
+		panic("bv: Cmp on partially-known vectors")
+	}
+	for i := len(b.val) - 1; i >= 0; i-- {
+		if b.val[i] != o.val[i] {
+			if b.val[i] < o.val[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Intersect returns the cube intersection of b and o: the set of
+// fully-known vectors contained in both. ok is false (and the returned
+// vector meaningless) when the cubes are disjoint, i.e. some bit is
+// known 0 in one and known 1 in the other.
+func (b BV) Intersect(o BV) (BV, bool) {
+	if b.width != o.width {
+		panic("bv: Intersect width mismatch")
+	}
+	c := NewX(b.width)
+	for i := range c.val {
+		conflict := b.known[i] & o.known[i] & (b.val[i] ^ o.val[i])
+		if conflict != 0 {
+			return BV{}, false
+		}
+		c.known[i] = b.known[i] | o.known[i]
+		c.val[i] = b.val[i] | o.val[i]
+	}
+	c.normalize()
+	return c, true
+}
+
+// Union returns the smallest cube containing both b and o: bits keep
+// their value where both agree and are known, and become x elsewhere.
+func (b BV) Union(o BV) BV {
+	if b.width != o.width {
+		panic("bv: Union width mismatch")
+	}
+	c := NewX(b.width)
+	for i := range c.val {
+		agree := b.known[i] & o.known[i] & ^(b.val[i] ^ o.val[i])
+		c.known[i] = agree
+		c.val[i] = b.val[i] & agree
+	}
+	c.normalize()
+	return c
+}
+
+// Covers reports whether cube b contains cube o (every vector in o is
+// in b); equivalently, every known bit of b is known and equal in o.
+func (b BV) Covers(o BV) bool {
+	if b.width != o.width {
+		panic("bv: Covers width mismatch")
+	}
+	for i := range b.val {
+		if b.known[i]&^o.known[i] != 0 {
+			return false
+		}
+		if b.known[i]&(b.val[i]^o.val[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Refine merges the known bits of o into b, the fundamental implication
+// step. changed reports whether any new bit became known; ok is false
+// on conflict (a bit known with opposite values).
+func (b BV) Refine(o BV) (r BV, changed, ok bool) {
+	if b.width != o.width {
+		panic("bv: Refine width mismatch")
+	}
+	r, ok = b.Intersect(o)
+	if !ok {
+		return BV{}, false, false
+	}
+	for i := range r.known {
+		if r.known[i] != b.known[i] {
+			return r, true, true
+		}
+	}
+	return r, false, true
+}
+
+// Contains reports whether the fully-known vector v (given as uint64,
+// width <= 64) lies in cube b.
+func (b BV) Contains(v uint64) bool {
+	if b.width > wordBits {
+		panic("bv: Contains on wide vector")
+	}
+	if b.width == 0 {
+		return true
+	}
+	if b.width < wordBits {
+		v &= (uint64(1) << b.width) - 1
+	}
+	return (v^b.val[0])&b.known[0] == 0
+}
+
+// CountSolutions returns the number of fully-known vectors in the cube,
+// i.e. 2^(number of x bits). It saturates at 2^62 to avoid overflow.
+func (b BV) CountSolutions() uint64 {
+	n := b.width - b.KnownCount()
+	if n >= 62 {
+		return 1 << 62
+	}
+	return 1 << uint(n)
+}
+
+// Concat returns the concatenation {hi, lo} — hi occupies the most
+// significant bits of the result.
+func Concat(hi, lo BV) BV {
+	c := NewX(hi.width + lo.width)
+	blit(&c, 0, lo, 0, lo.width)
+	blit(&c, lo.width, hi, 0, hi.width)
+	return c
+}
+
+// Slice returns bits [lo, hi] inclusive as a new vector of width hi-lo+1.
+func (b BV) Slice(hi, lo int) BV {
+	if lo < 0 || hi >= b.width || hi < lo {
+		panic(fmt.Sprintf("bv: bad slice [%d:%d] of width %d", hi, lo, b.width))
+	}
+	c := NewX(hi - lo + 1)
+	blit(&c, 0, b, lo, hi-lo+1)
+	return c
+}
+
+// Zext zero-extends (or truncates) b to the given width. Truncation
+// drops high bits; extension adds known-0 bits.
+func (b BV) Zext(width int) BV {
+	c := NewX(width)
+	n := b.width
+	if n > width {
+		n = width
+	}
+	blit(&c, 0, b, 0, n)
+	for i := n; i < width; i++ {
+		c.setBit(i, Zero)
+	}
+	return c
+}

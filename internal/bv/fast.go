@@ -1,0 +1,62 @@
+package bv
+
+// Allocation-conscious implementations of the hot operations. The
+// public API is unchanged; these replace per-bit WithBit loops (which
+// clone the whole vector per bit) with in-place construction on fresh
+// vectors. Profiling the ATPG engine showed Concat/Slice/AddCarry
+// dominating runtime through WithBit's clones.
+
+// setBit mutates a bit of an *unshared* vector (freshly allocated by
+// the caller, never an operand).
+func (b *BV) setBit(i int, t Trit) {
+	w, s := i/wordBits, uint(i%wordBits)
+	switch t {
+	case X:
+		b.known[w] &^= uint64(1) << s
+		b.val[w] &^= uint64(1) << s
+	case Zero:
+		b.known[w] |= uint64(1) << s
+		b.val[w] &^= uint64(1) << s
+	case One:
+		b.known[w] |= uint64(1) << s
+		b.val[w] |= uint64(1) << s
+	}
+}
+
+// getTrit reads a bit without bounds checking beyond slice safety.
+func (b *BV) getTrit(i int) Trit {
+	w, s := i/wordBits, uint(i%wordBits)
+	if b.known[w]>>s&1 == 0 {
+		return X
+	}
+	return Trit(b.val[w] >> s & 1)
+}
+
+// RefineScan reports whether refining b with o would add known bits
+// (changed) or contradict (conflict), without allocating. It is the
+// read-only prefix of Refine used on the implication fast path, where
+// the overwhelmingly common case is "no change".
+func (b BV) RefineScan(o BV) (changed, conflict bool) {
+	for i := range b.val {
+		if b.known[i]&o.known[i]&(b.val[i]^o.val[i]) != 0 {
+			return false, true
+		}
+		if o.known[i]&^b.known[i] != 0 {
+			changed = true
+		}
+	}
+	return changed, false
+}
+
+// blit copies n bits of src starting at srcLo into dst starting at
+// dstLo. dst must be unshared; bits outside the blit are untouched.
+func blit(dst *BV, dstLo int, src BV, srcLo, n int) {
+	for k := 0; k < n; k++ {
+		sw, ss := (srcLo+k)/wordBits, uint((srcLo+k)%wordBits)
+		kn := src.known[sw] >> ss & 1
+		vl := src.val[sw] >> ss & 1
+		dw, ds := (dstLo+k)/wordBits, uint((dstLo+k)%wordBits)
+		dst.known[dw] |= kn << ds
+		dst.val[dw] |= (vl & kn) << ds
+	}
+}

@@ -1,0 +1,442 @@
+package bv
+
+// Three-valued bitwise and arithmetic operations. Forward operations
+// compute the tightest cube containing f(a, b) for all completions of
+// the operand cubes (bitwise ops are exact per bit; arithmetic ops use
+// ripple carries with three-valued carry propagation, which is the
+// "3-valued forward and backward simulation" of §3.1).
+
+// known0 returns the mask of bits known to be 0 in word i.
+func (b BV) known0(i int) uint64 { return b.known[i] &^ b.val[i] }
+
+// known1 returns the mask of bits known to be 1 in word i.
+func (b BV) known1(i int) uint64 { return b.known[i] & b.val[i] }
+
+func checkSameWidth(a, b BV, op string) {
+	if a.width != b.width {
+		panic("bv: " + op + " width mismatch")
+	}
+}
+
+// Not returns the bitwise complement (x stays x).
+func (b BV) Not() BV {
+	c := b.Clone()
+	for i := range c.val {
+		c.val[i] = ^c.val[i] & c.known[i]
+	}
+	c.normalize()
+	return c
+}
+
+// And returns the three-valued bitwise AND.
+func (b BV) And(o BV) BV {
+	checkSameWidth(b, o, "And")
+	c := NewX(b.width)
+	for i := range c.val {
+		one := b.known1(i) & o.known1(i)
+		zero := b.known0(i) | o.known0(i)
+		c.val[i] = one
+		c.known[i] = one | zero
+	}
+	c.normalize()
+	return c
+}
+
+// Or returns the three-valued bitwise OR.
+func (b BV) Or(o BV) BV {
+	checkSameWidth(b, o, "Or")
+	c := NewX(b.width)
+	for i := range c.val {
+		one := b.known1(i) | o.known1(i)
+		zero := b.known0(i) & o.known0(i)
+		c.val[i] = one
+		c.known[i] = one | zero
+	}
+	c.normalize()
+	return c
+}
+
+// Xor returns the three-valued bitwise XOR (known only where both known).
+func (b BV) Xor(o BV) BV {
+	checkSameWidth(b, o, "Xor")
+	c := NewX(b.width)
+	for i := range c.val {
+		k := b.known[i] & o.known[i]
+		c.known[i] = k
+		c.val[i] = (b.val[i] ^ o.val[i]) & k
+	}
+	c.normalize()
+	return c
+}
+
+// tritAnd/tritOr/tritXor implement Kleene logic on single trits.
+
+func tritAnd(a, b Trit) Trit {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+func tritOr(a, b Trit) Trit {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+func tritXor(a, b Trit) Trit {
+	if a == X || b == X {
+		return X
+	}
+	if a != b {
+		return One
+	}
+	return Zero
+}
+
+func tritNot(a Trit) Trit {
+	switch a {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// tritMaj returns the majority (carry) function of three trits.
+func tritMaj(a, b, c Trit) Trit {
+	return tritOr(tritOr(tritAnd(a, b), tritAnd(a, c)), tritAnd(b, c))
+}
+
+// AddCarry returns the three-valued sum a+b+cin truncated to the width
+// of a, along with the carry out of the final bit. This is the forward
+// adder simulation of Fig. 3.
+func (b BV) AddCarry(o BV, cin Trit) (sum BV, cout Trit) {
+	checkSameWidth(b, o, "Add")
+	sum = NewX(b.width)
+	c := cin
+	for i := 0; i < b.width; i++ {
+		ai, bi := b.getTrit(i), o.getTrit(i)
+		s := tritXor(tritXor(ai, bi), c)
+		sum.setBit(i, s)
+		c = tritMaj(ai, bi, c)
+	}
+	return sum, c
+}
+
+// Add returns the three-valued sum modulo 2^width.
+func (b BV) Add(o BV) BV {
+	s, _ := b.AddCarry(o, Zero)
+	return s
+}
+
+// SubBorrow returns the three-valued difference b-o (mod 2^width) and
+// the borrow out of the final bit. A known borrow-out of One means
+// every completion wraps (b < o); Zero means none does. This is the
+// backward adder implication primitive of Fig. 3: given an adder output
+// and one input, out − in bounds the other input, and borrow-out 1 of
+// (out − in) corresponds to carry-out 1 of the original addition.
+func (b BV) SubBorrow(o BV) (diff BV, borrow Trit) {
+	checkSameWidth(b, o, "Sub")
+	diff = NewX(b.width)
+	br := Zero
+	for i := 0; i < b.width; i++ {
+		ai, bi := b.getTrit(i), o.getTrit(i)
+		d := tritXor(tritXor(ai, bi), br)
+		diff.setBit(i, d)
+		// borrow-out = (~a & b) | (br & ~(a ^ b))
+		br = tritOr(tritAnd(tritNot(ai), bi), tritAnd(br, tritNot(tritXor(ai, bi))))
+	}
+	return diff, br
+}
+
+// Sub returns the three-valued difference modulo 2^width.
+func (b BV) Sub(o BV) BV {
+	d, _ := b.SubBorrow(o)
+	return d
+}
+
+// Mul returns the three-valued product modulo 2^width. It is exact when
+// both operands are fully known and degrades to interval-free partial
+// knowledge otherwise: the result keeps the low bits that are fully
+// determined by the known low bits of the operands (a standard
+// word-level approximation — bit i of the product depends only on bits
+// [0..i] of the operands).
+func (b BV) Mul(o BV) BV {
+	checkSameWidth(b, o, "Mul")
+	w := b.width
+	if b.IsFullyKnown() && o.IsFullyKnown() {
+		return mulExact(b, o)
+	}
+	// Sum of shifted partial products with three-valued addition, where
+	// each partial product row is o shifted left by i, anded with bit i
+	// of b. Unknown multiplier bits make the whole row x from that point.
+	acc := FromUint64(w, 0)
+	for i := 0; i < w; i++ {
+		var row BV
+		switch b.Bit(i) {
+		case Zero:
+			continue
+		case One:
+			row = o.shiftLeftKnown(i)
+		default:
+			row = NewX(w)
+			// Low i bits of the row are 0 regardless.
+			for k := 0; k < i; k++ {
+				row = row.WithBit(k, Zero)
+			}
+			// If o is known to be zero the row is zero.
+			if z, okz := o.Uint64(); okz && z == 0 {
+				row = FromUint64(w, 0)
+			}
+		}
+		acc = acc.Add(row)
+	}
+	return acc
+}
+
+func mulExact(a, b BV) BV {
+	w := a.width
+	if w <= 64 {
+		av, _ := a.Uint64()
+		bw, _ := b.Uint64()
+		return FromUint64(w, av*bw)
+	}
+	// Schoolbook over words for wide fully-known vectors.
+	acc := FromUint64(w, 0)
+	for i := 0; i < w; i++ {
+		if b.Bit(i) == One {
+			acc = acc.Add(a.shiftLeftKnown(i))
+		}
+	}
+	return acc
+}
+
+// shiftLeftKnown returns b << n with known zero fill.
+func (b BV) shiftLeftKnown(n int) BV {
+	c := NewX(b.width)
+	for i := 0; i < n && i < b.width; i++ {
+		c.setBit(i, Zero)
+	}
+	if n < b.width {
+		blit(&c, n, b, 0, b.width-n)
+	}
+	return c
+}
+
+// shiftRightKnown returns b >> n (logical) with known zero fill.
+func (b BV) shiftRightKnown(n int) BV {
+	c := NewX(b.width)
+	if n < b.width {
+		blit(&c, 0, b, n, b.width-n)
+	}
+	for i := b.width - n; i < b.width; i++ {
+		if i >= 0 {
+			c.setBit(i, Zero)
+		}
+	}
+	return c
+}
+
+// Shl returns the three-valued logical left shift b << o. When the
+// shift amount is not fully known the result is the union over all
+// feasible amounts (bounded by the width).
+func (b BV) Shl(o BV) BV {
+	return b.shiftDynamic(o, BV.shiftLeftKnown)
+}
+
+// Shr returns the three-valued logical right shift b >> o.
+func (b BV) Shr(o BV) BV {
+	return b.shiftDynamic(o, BV.shiftRightKnown)
+}
+
+func (b BV) shiftDynamic(o BV, f func(BV, int) BV) BV {
+	if v, ok := o.Uint64(); ok {
+		if v >= uint64(b.width) {
+			return FromUint64(b.width, 0)
+		}
+		return f(b, int(v))
+	}
+	lo, hi := o.MinUint64(), o.MaxUint64()
+	if hi > uint64(b.width) {
+		hi = uint64(b.width)
+	}
+	var acc BV
+	first := true
+	for s := lo; s <= hi; s++ {
+		var r BV
+		if s >= uint64(b.width) {
+			r = FromUint64(b.width, 0)
+		} else {
+			r = f(b, int(s))
+		}
+		if !o.Contains(s) {
+			continue
+		}
+		if first {
+			acc, first = r, false
+		} else {
+			acc = acc.Union(r)
+		}
+		if s == uint64(b.width) {
+			break
+		}
+	}
+	if first {
+		return NewX(b.width)
+	}
+	return acc
+}
+
+// RedAnd returns the 1-bit reduction AND.
+func (b BV) RedAnd() BV {
+	out := One
+	for i := 0; i < b.width; i++ {
+		out = tritAnd(out, b.Bit(i))
+	}
+	return NewX(1).WithBit(0, out)
+}
+
+// RedOr returns the 1-bit reduction OR.
+func (b BV) RedOr() BV {
+	out := Zero
+	for i := 0; i < b.width; i++ {
+		out = tritOr(out, b.Bit(i))
+	}
+	return NewX(1).WithBit(0, out)
+}
+
+// RedXor returns the 1-bit reduction XOR.
+func (b BV) RedXor() BV {
+	out := Zero
+	for i := 0; i < b.width; i++ {
+		out = tritXor(out, b.Bit(i))
+	}
+	return NewX(1).WithBit(0, out)
+}
+
+// CmpThree compares two cubes as unsigned integers in three-valued
+// logic, returning the trit of the predicate a < b (Lt), using interval
+// reasoning: if max(a) < min(b) the answer is One; if min(a) >= max(b)
+// it is Zero; otherwise X.
+func LtThree(a, b BV) Trit {
+	checkSameWidth(a, b, "Lt")
+	if a.width <= wordBits {
+		if a.MaxUint64() < b.MinUint64() {
+			return One
+		}
+		if a.MinUint64() >= b.MaxUint64() {
+			return Zero
+		}
+		return X
+	}
+	if a.Max().Cmp(b.Min()) < 0 {
+		return One
+	}
+	if a.Min().Cmp(b.Max()) >= 0 {
+		return Zero
+	}
+	return X
+}
+
+// EqThree returns the trit of a == b: One if both fully known and
+// equal; Zero if some bit is known unequal; X otherwise.
+func EqThree(a, b BV) Trit {
+	checkSameWidth(a, b, "Eq")
+	if _, ok := a.Intersect(b); !ok {
+		return Zero
+	}
+	if a.IsFullyKnown() && b.IsFullyKnown() {
+		return One
+	}
+	return X
+}
+
+// TightenToRange refines cube b against the unsigned range [lo, hi]
+// following the paper's Rules 1 and 2 (§3.1, Fig. 4): scanning from the
+// most significant bit, an unknown bit is implied to value v when
+// forcing it to the complement makes the cube's reachable interval
+// disjoint from [lo, hi]. Scanning stops at the first unknown bit that
+// cannot be implied, because less-significant implications would split
+// the range into overlapping sub-ranges (Rule 2). ok is false when the
+// cube has no completion inside [lo, hi].
+func (b BV) TightenToRange(lo, hi BV) (BV, bool) {
+	if lo.width != b.width || hi.width != b.width {
+		panic("bv: TightenToRange width mismatch")
+	}
+	if b.width <= wordBits {
+		return b.tightenToRange64(lo.MinUint64(), hi.MinUint64())
+	}
+	cur := b.Clone()
+	if cur.Max().Cmp(lo) < 0 || cur.Min().Cmp(hi) > 0 {
+		return BV{}, false
+	}
+	for i := b.width - 1; i >= 0; i-- {
+		if cur.Bit(i) != X {
+			continue
+		}
+		c0 := cur.WithBit(i, Zero)
+		c1 := cur.WithBit(i, One)
+		out0 := c0.Max().Cmp(lo) < 0 || c0.Min().Cmp(hi) > 0
+		out1 := c1.Max().Cmp(lo) < 0 || c1.Min().Cmp(hi) > 0
+		switch {
+		case out0 && out1:
+			return BV{}, false
+		case out0:
+			cur = c1
+		case out1:
+			cur = c0
+		default:
+			// Rule 2: stop at the first undecidable unknown bit.
+			return cur, true
+		}
+	}
+	return cur, true
+}
+
+// RangeUint64 returns the unsigned [min, max] interval of the cube for
+// widths up to 64 bits.
+func (b BV) RangeUint64() (lo, hi uint64) {
+	return b.MinUint64(), b.MaxUint64()
+}
+
+// tightenToRange64 is TightenToRange for widths up to 64 bits, working
+// directly on the [min, max] integers of the cube.
+func (b BV) tightenToRange64(lo, hi uint64) (BV, bool) {
+	cur := b.Clone()
+	cmin, cmax := cur.MinUint64(), cur.MaxUint64()
+	if cmax < lo || cmin > hi {
+		return BV{}, false
+	}
+	for i := b.width - 1; i >= 0; i-- {
+		if cur.getTrit(i) != X {
+			continue
+		}
+		bit := uint64(1) << uint(i)
+		// Setting the bit to 0 keeps range [cmin, cmax-bit]; to 1,
+		// [cmin+bit, cmax].
+		out0 := cmax-bit < lo || cmin > hi
+		out1 := cmax < lo || cmin+bit > hi
+		switch {
+		case out0 && out1:
+			return BV{}, false
+		case out0:
+			cur.setBit(i, One)
+			cmin += bit
+		case out1:
+			cur.setBit(i, Zero)
+			cmax -= bit
+		default:
+			return cur, true
+		}
+	}
+	return cur, true
+}

@@ -1,0 +1,173 @@
+package circuits
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/property"
+)
+
+func TestAllElaborate(t *testing.T) {
+	designs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) != 9 {
+		t.Fatalf("got %d designs, want 9 (Table 1)", len(designs))
+	}
+	ids := map[string]bool{}
+	for _, d := range designs {
+		if err := d.NL.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		st := d.NL.Stats()
+		if st.Gates == 0 {
+			t.Errorf("%s: empty netlist", d.Name)
+		}
+		if d.Lines() == 0 {
+			t.Errorf("%s: no source lines", d.Name)
+		}
+		for i, p := range d.Props {
+			ids[d.PropIDs[i]] = true
+			if p.Name != d.PropIDs[i] {
+				t.Errorf("%s: property name %q != id %q", d.Name, p.Name, d.PropIDs[i])
+			}
+		}
+	}
+	for i := 1; i <= 14; i++ {
+		id := propID(i)
+		if !ids[id] {
+			t.Errorf("missing property %s", id)
+		}
+	}
+}
+
+func propID(i int) string {
+	return fmt.Sprintf("p%d", i)
+}
+
+// expected verdicts per property (the paper's semantics: all fourteen
+// hold — invariants prove, witnesses exist).
+var expect = map[string]func(v core.Verdict) bool{
+	"p1":  func(v core.Verdict) bool { return v == core.VerdictWitnessFound },
+	"p2":  provedOrBounded,
+	"p3":  provedOrBounded,
+	"p4":  func(v core.Verdict) bool { return v == core.VerdictWitnessFound },
+	"p5":  provedOrBounded,
+	"p6":  func(v core.Verdict) bool { return v == core.VerdictWitnessFound },
+	"p7":  provedOrBounded,
+	"p8":  func(v core.Verdict) bool { return v == core.VerdictWitnessFound },
+	"p9":  provedOrBounded,
+	"p10": provedOrBounded,
+	"p11": provedOrBounded,
+	"p12": func(v core.Verdict) bool { return v == core.VerdictProved },
+	"p13": func(v core.Verdict) bool { return v == core.VerdictProved },
+	"p14": provedOrBounded,
+}
+
+func provedOrBounded(v core.Verdict) bool {
+	return v == core.VerdictProved || v == core.VerdictProvedBounded
+}
+
+func TestTable2Properties(t *testing.T) {
+	designs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range designs {
+		for i, p := range d.Props {
+			id := d.PropIDs[i]
+			opts := core.Options{MaxDepth: depthFor(id), UseInduction: true}
+			c, err := core.New(d.NL, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, id, err)
+			}
+			res := c.Check(p)
+			check, ok := expect[id]
+			if !ok {
+				t.Fatalf("no expectation for %s", id)
+			}
+			if !check(res.Verdict) {
+				t.Errorf("%s/%s: verdict %v (depth %d, stats %+v)", d.Name, id, res.Verdict, res.Depth, res.Stats)
+			}
+			if res.Trace != nil && !res.Validated {
+				t.Errorf("%s/%s: trace failed validation", d.Name, id)
+			}
+		}
+	}
+}
+
+// depthFor bounds each property's search to keep the suite fast while
+// still covering the interesting behaviour (witness depths, induction).
+func depthFor(id string) int {
+	switch id {
+	case "p4":
+		return 8 // token must travel to client 5
+	case "p8":
+		return 4
+	case "p9":
+		return 4
+	case "p6":
+		return 4
+	default:
+		return 3
+	}
+}
+
+func TestTokenRingScales(t *testing.T) {
+	for _, n := range []int{4, 16, 32} {
+		d, err := TokenRing(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d.NL.Stats().FFs == 0 {
+			t.Errorf("n=%d: no state", n)
+		}
+	}
+}
+
+func TestPlantedBugIsFound(t *testing.T) {
+	// Mutated alarm clock: hour wraps at 13 instead of 12 — p9 must be
+	// falsified.
+	src := alarmClockSrc
+	src = replaceOnce(t, src, "(hour == 4'd12) ? 4'd1", "(hour == 4'd13) ? 4'd1")
+	nl, err := build("alarm_buggy", src, "alarm_clock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := property.Builder{NL: nl}
+	hour, _ := nl.SignalByName("hour")
+	p9, _ := property.NewInvariant(nl, "p9-bug", b.NeverValue(hour, 13))
+	c, _ := core.New(nl, core.Options{MaxDepth: 80})
+	res := c.Check(p9)
+	if res.Verdict != core.VerdictFalsified {
+		t.Fatalf("buggy clock: verdict %v, want falsified", res.Verdict)
+	}
+	if !res.Validated {
+		t.Error("counterexample failed validation")
+	}
+	// With the wrap moved to 13, a single set_time hour increment from
+	// the initial 12 already reaches 13: two frames suffice.
+	if res.Depth < 2 {
+		t.Errorf("suspiciously short counterexample: %d", res.Depth)
+	}
+}
+
+func replaceOnce(t *testing.T, s, old, new string) string {
+	t.Helper()
+	idx := indexOf(s, old)
+	if idx < 0 {
+		t.Fatalf("pattern %q not found", old)
+	}
+	return s[:idx] + new + s[idx+len(old):]
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

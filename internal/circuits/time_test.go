@@ -1,0 +1,39 @@
+package circuits
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTable2Shape checks the qualitative shape of Table 2: every
+// property completes, and the relative difficulty ordering the paper
+// reports is visible (the sequential one-hot proofs p3/p5/p11 dominate
+// the cheap combinational checks).
+func TestTable2Shape(t *testing.T) {
+	designs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := map[string]float64{}
+	for _, d := range designs {
+		for i, p := range d.Props {
+			id := d.PropIDs[i]
+			c, _ := core.New(d.NL, core.Options{MaxDepth: depthFor(id), UseInduction: true})
+			res := c.Check(p)
+			elapsed[id] = res.Elapsed.Seconds()
+			t.Logf("%-14s %-4s %-16s depth=%d dec=%d impl=%d %.3fs %.1fMB",
+				d.Name, id, res.Verdict, res.Depth, res.Stats.Decisions,
+				res.Stats.Implications, res.Elapsed.Seconds(), float64(res.AllocBytes)/1e6)
+		}
+	}
+	// The hardest properties must be the sequential one-hot invariants,
+	// never the witness generations (paper: proofs cost more than
+	// witnesses on the same design).
+	if elapsed["p5"] < elapsed["p6"] {
+		t.Errorf("p5 (%.3fs) should dominate p6 (%.3fs)", elapsed["p5"], elapsed["p6"])
+	}
+	if elapsed["p3"] < elapsed["p4"] {
+		t.Errorf("p3 (%.3fs) should dominate p4 (%.3fs)", elapsed["p3"], elapsed["p4"])
+	}
+}

@@ -1,0 +1,184 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// pinAndSolve constrains the frame-0 inputs and solves.
+func pinAndSolve(t *testing.T, nl *netlist.Netlist, ins map[netlist.SignalID]uint64) (*Blaster, bool) {
+	t.Helper()
+	s := sat.NewSolver()
+	b := New(nl, s)
+	if err := b.BlastFrame(0); err != nil {
+		t.Fatal(err)
+	}
+	for sig, val := range ins {
+		for i := 0; i < nl.Width(sig); i++ {
+			lit := b.Lit(0, sig, i)
+			if val>>uint(i)&1 == 1 {
+				s.AddClause(lit)
+			} else {
+				s.AddClause(lit.Not())
+			}
+		}
+	}
+	return b, s.Solve() == sat.Sat
+}
+
+func TestGateEncodingsExhaustive(t *testing.T) {
+	// For each binary gate kind at width 3, pin every input pair and
+	// compare the forced output against uint64 arithmetic.
+	w := 3
+	mask := uint64(1)<<uint(w) - 1
+	kinds := []struct {
+		k netlist.Kind
+		f func(a, b uint64) uint64
+	}{
+		{netlist.KAnd, func(a, b uint64) uint64 { return a & b }},
+		{netlist.KOr, func(a, b uint64) uint64 { return a | b }},
+		{netlist.KXor, func(a, b uint64) uint64 { return a ^ b }},
+		{netlist.KAdd, func(a, b uint64) uint64 { return (a + b) & mask }},
+		{netlist.KSub, func(a, b uint64) uint64 { return (a - b) & mask }},
+		{netlist.KMul, func(a, b uint64) uint64 { return (a * b) & mask }},
+		{netlist.KShl, func(a, b uint64) uint64 {
+			if b >= uint64(w) {
+				return 0
+			}
+			return (a << b) & mask
+		}},
+		{netlist.KShr, func(a, b uint64) uint64 {
+			if b >= uint64(w) {
+				return 0
+			}
+			return a >> b
+		}},
+		{netlist.KLt, func(a, b uint64) uint64 { return b2u(a < b) }},
+		{netlist.KGe, func(a, b uint64) uint64 { return b2u(a >= b) }},
+		{netlist.KEq, func(a, b uint64) uint64 { return b2u(a == b) }},
+		{netlist.KNe, func(a, b uint64) uint64 { return b2u(a != b) }},
+	}
+	for _, kc := range kinds {
+		nl := netlist.New("t")
+		a := nl.AddInput("a", w)
+		c := nl.AddInput("b", w)
+		y := nl.Binary(kc.k, a, c)
+		for av := uint64(0); av <= mask; av++ {
+			for bvv := uint64(0); bvv <= mask; bvv++ {
+				blaster, ok := pinAndSolve(t, nl, map[netlist.SignalID]uint64{a: av, c: bvv})
+				if !ok {
+					t.Fatalf("%v(%d,%d): unsat", kc.k, av, bvv)
+				}
+				got, gok := blaster.ModelValue(0, y).Uint64()
+				want := kc.f(av, bvv)
+				if !gok || got != want {
+					t.Fatalf("%v(%d,%d) = %d, want %d", kc.k, av, bvv, got, want)
+				}
+			}
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestMuxEncoding(t *testing.T) {
+	nl := netlist.New("mux")
+	sel := nl.AddInput("sel", 2)
+	d0 := nl.AddInput("d0", 4)
+	d1 := nl.AddInput("d1", 4)
+	d2 := nl.AddInput("d2", 4)
+	y := nl.Mux(sel, d0, d1, d2)
+	for s := uint64(0); s < 3; s++ {
+		blaster, ok := pinAndSolve(t, nl, map[netlist.SignalID]uint64{
+			sel: s, d0: 1, d1: 2, d2: 3,
+		})
+		if !ok {
+			t.Fatalf("sel=%d unsat", s)
+		}
+		got, _ := blaster.ModelValue(0, y).Uint64()
+		if got != s+1 {
+			t.Errorf("sel=%d: y=%d, want %d", s, got, s+1)
+		}
+	}
+}
+
+func TestFrameLinkingAndInit(t *testing.T) {
+	// 2-bit counter, init 1: after one frame q must be 2.
+	nl := netlist.New("cnt")
+	q := nl.DffPlaceholder(2, bv.FromUint64(2, 1), "q")
+	nl.ConnectDff(q, nl.Binary(netlist.KAdd, q, nl.ConstUint(2, 1)))
+	s := sat.NewSolver()
+	b := New(nl, s)
+	b.PinInit()
+	if err := b.BlastFrame(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BlastFrame(1); err != nil {
+		t.Fatal(err)
+	}
+	b.LinkFrames(0)
+	if s.Solve() != sat.Sat {
+		t.Fatal("unsat")
+	}
+	q0, _ := b.ModelValue(0, q).Uint64()
+	q1, _ := b.ModelValue(1, q).Uint64()
+	if q0 != 1 || q1 != 2 {
+		t.Errorf("q0=%d q1=%d, want 1 2", q0, q1)
+	}
+}
+
+func TestConcatSliceZextRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		nl := netlist.New("csz")
+		a := nl.AddInput("a", 3)
+		c := nl.AddInput("b", 5)
+		cc := nl.Concat(a, c) // width 8: a high, b low
+		sl := nl.Slice(cc, 6, 2)
+		z := nl.Zext(sl, 9)
+		av := r.Uint64() & 7
+		bvv := r.Uint64() & 31
+		blaster, ok := pinAndSolve(t, nl, map[netlist.SignalID]uint64{a: av, c: bvv})
+		if !ok {
+			t.Fatal("unsat")
+		}
+		full := av<<5 | bvv
+		want := (full >> 2) & 0x1f
+		got, _ := blaster.ModelValue(0, z).Uint64()
+		if got != want {
+			t.Fatalf("trial %d: z=%d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestUnknownInitBitsAreFree(t *testing.T) {
+	// A register with x init can take either value at frame 0.
+	nl := netlist.New("free")
+	q := nl.DffPlaceholder(1, bv.NewX(1), "q")
+	nl.ConnectDff(q, q)
+	for _, want := range []bool{false, true} {
+		s := sat.NewSolver()
+		b := New(nl, s)
+		b.PinInit()
+		if err := b.BlastFrame(0); err != nil {
+			t.Fatal(err)
+		}
+		lit := b.Lit(0, q, 0)
+		if !want {
+			lit = lit.Not()
+		}
+		s.AddClause(lit)
+		if s.Solve() != sat.Sat {
+			t.Errorf("q=%v should be reachable at frame 0", want)
+		}
+	}
+}

@@ -1,0 +1,862 @@
+// Package elab elaborates a parsed Verilog source into a flattened
+// word-level netlist — the paper's "quick synthesis" step (§2). In
+// keeping with the paper, no logic minimization is performed: the
+// design intent (mux structures, comparators, arithmetic operators) is
+// mapped structurally so the word-level ATPG can exploit it.
+//
+// Elaboration is demand-driven: every named net resolves lazily through
+// its driver (continuous assignment, combinational always block, or
+// instance output), which both orders the construction topologically
+// and detects combinational cycles. Sequential registers (assigned
+// under an edge-triggered always) become D flip-flops, with enables,
+// holds and the asynchronous-reset idiom synthesized as multiplexors in
+// front of the D input. Memories (reg arrays) are expanded into one
+// register per word with address-decoded write multiplexors and read
+// mux trees.
+package elab
+
+import (
+	"fmt"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// Elaborate flattens the design rooted at module top into a netlist.
+// paramOverrides overrides top-level parameters by name.
+func Elaborate(src *verilog.Source, top string, paramOverrides map[string]uint64) (*netlist.Netlist, error) {
+	mod := src.FindModule(top)
+	if mod == nil {
+		return nil, fmt.Errorf("elab: no module %q", top)
+	}
+	e := &elaborator{src: src, nl: netlist.New(top)}
+	sc, err := e.newScope(mod, "", paramOverrides, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.elabScope(sc, true); err != nil {
+		return nil, err
+	}
+	if err := e.nl.Validate(); err != nil {
+		return nil, err
+	}
+	return e.nl, nil
+}
+
+type elaborator struct {
+	src *verilog.Source
+	nl  *netlist.Netlist
+}
+
+// netState tracks lazy resolution.
+type netState uint8
+
+const (
+	nsUnresolved netState = iota
+	nsResolving
+	nsResolved
+)
+
+// driverKind classifies how a net gets its value.
+type driverKind uint8
+
+const (
+	dkAssign     driverKind = iota // continuous assign (may cover a part select)
+	dkAlways                       // combinational always block
+	dkInstOut                      // instance output port
+	dkParentExpr                   // submodule input fed by parent expression
+)
+
+type driver struct {
+	kind   driverKind
+	assign *verilog.Assign
+	always *verilog.Always
+	inst   *instInfo
+	port   string
+	// For dkParentExpr:
+	parent *scope
+	expr   verilog.Expr
+}
+
+type netInfo struct {
+	name    string // local name
+	full    string // hierarchical name
+	width   int
+	state   netState
+	sig     netlist.SignalID
+	drivers []*driver
+	isReg   bool
+	line    int
+}
+
+// memInfo is a declared memory array, expanded to per-word registers.
+type memInfo struct {
+	name     string
+	width    int
+	words    int
+	wordNets []*netInfo // sequential register per word
+}
+
+type instInfo struct {
+	ast   *verilog.Instance
+	child *scope
+	done  bool
+}
+
+// scope is one module instance during elaboration.
+type scope struct {
+	mod    *verilog.Module
+	prefix string
+	params map[string]uint64
+	nets   map[string]*netInfo
+	mems   map[string]*memInfo
+	// consts carries loop-variable values while unrolling for loops.
+	consts map[string]uint64
+	// seqAlways lists edge-triggered blocks; combAlways the @(*) ones.
+	seqAlways  []*verilog.Always
+	alwaysDone map[*verilog.Always]bool
+	insts      []*instInfo
+	inits      []*verilog.Initial
+	outputs    map[string]bool // output port names
+	inputs     map[string]bool
+	parentConn map[string]*driver // input port -> parent expression
+	combCache  map[*verilog.Always]*combAlwaysResult
+}
+
+func (e *elaborator) errf(sc *scope, line int, format string, args ...interface{}) error {
+	return fmt.Errorf("elab: %s%s line %d: %s", sc.prefix, sc.mod.Name, line, fmt.Sprintf(format, args...))
+}
+
+// newScope evaluates parameters and declarations of a module instance.
+func (e *elaborator) newScope(mod *verilog.Module, prefix string, overrides map[string]uint64, parentConns map[string]*driver) (*scope, error) {
+	sc := &scope{
+		mod: mod, prefix: prefix,
+		params: map[string]uint64{}, nets: map[string]*netInfo{},
+		mems: map[string]*memInfo{}, consts: map[string]uint64{},
+		alwaysDone: map[*verilog.Always]bool{},
+		outputs:    map[string]bool{}, inputs: map[string]bool{},
+		parentConn: parentConns,
+	}
+	for _, p := range mod.Params {
+		if v, ok := overrides[p.Name]; ok && !p.Local {
+			sc.params[p.Name] = v
+			continue
+		}
+		v, err := e.constEval(sc, p.Value)
+		if err != nil {
+			return nil, fmt.Errorf("elab: parameter %s.%s: %v", mod.Name, p.Name, err)
+		}
+		sc.params[p.Name] = v
+	}
+	// Declarations.
+	for _, it := range mod.Items {
+		d, ok := it.(*verilog.Decl)
+		if !ok {
+			continue
+		}
+		w := 1
+		if d.Msb != nil {
+			msb, err := e.constEval(sc, d.Msb)
+			if err != nil {
+				return nil, e.errf(sc, d.Line, "bad range msb: %v", err)
+			}
+			lsb, err := e.constEval(sc, d.Lsb)
+			if err != nil {
+				return nil, e.errf(sc, d.Line, "bad range lsb: %v", err)
+			}
+			if lsb != 0 || msb > 512 {
+				return nil, e.errf(sc, d.Line, "unsupported range [%d:%d]", msb, lsb)
+			}
+			w = int(msb) + 1
+		}
+		for _, name := range d.Names {
+			if d.ArrayHi != nil {
+				hi, err := e.constEval(sc, d.ArrayHi)
+				if err != nil {
+					return nil, e.errf(sc, d.Line, "bad memory bound: %v", err)
+				}
+				lo, err := e.constEval(sc, d.ArrayLo)
+				if err != nil {
+					return nil, e.errf(sc, d.Line, "bad memory bound: %v", err)
+				}
+				if hi < lo { // declared [0:N]
+					hi, lo = lo, hi
+				}
+				if lo != 0 || hi > 255 {
+					return nil, e.errf(sc, d.Line, "unsupported memory bounds [%d:%d]", lo, hi)
+				}
+				sc.mems[name] = &memInfo{name: name, width: w, words: int(hi) + 1}
+				continue
+			}
+			ni := sc.nets[name]
+			if ni == nil {
+				ni = &netInfo{name: name, full: prefix + name, width: w, line: d.Line}
+				sc.nets[name] = ni
+			} else if ni.width == 1 && w > 1 {
+				// "output [3:0] q; reg [3:0] q;" — second decl refines width.
+				ni.width = w
+			}
+			ni.isReg = ni.isReg || d.Reg
+			switch d.Dir {
+			case verilog.DirInput:
+				sc.inputs[name] = true
+			case verilog.DirOutput:
+				sc.outputs[name] = true
+			case verilog.DirInout:
+				return nil, e.errf(sc, d.Line, "inout ports are not supported")
+			}
+		}
+	}
+	// Classify always blocks; collect instances and initial blocks.
+	for _, it := range mod.Items {
+		switch v := it.(type) {
+		case *verilog.Always:
+			if isSequential(v) {
+				sc.seqAlways = append(sc.seqAlways, v)
+			} else {
+				// Attach as driver to every net it assigns.
+				for name := range assignedNets(v.Body) {
+					if ni := sc.nets[name]; ni != nil {
+						ni.drivers = append(ni.drivers, &driver{kind: dkAlways, always: v})
+					}
+				}
+			}
+		case *verilog.Assign:
+			for _, tgt := range lhsTargets(v.LHS) {
+				if ni := sc.nets[tgt]; ni != nil {
+					ni.drivers = append(ni.drivers, &driver{kind: dkAssign, assign: v})
+				} else if sc.mems[tgt] != nil {
+					return nil, e.errf(sc, v.Line, "continuous assign to memory %q", tgt)
+				} else {
+					return nil, e.errf(sc, v.Line, "assign to undeclared net %q", tgt)
+				}
+			}
+		case *verilog.Instance:
+			ii := &instInfo{ast: v}
+			sc.insts = append(sc.insts, ii)
+		case *verilog.Initial:
+			sc.inits = append(sc.inits, v)
+		}
+	}
+	// Input ports: resolved from parent connections (or as primary
+	// inputs when top-level — handled in elabScope).
+	for name, drv := range parentConns {
+		if ni := sc.nets[name]; ni != nil && sc.inputs[name] {
+			ni.drivers = append(ni.drivers, drv)
+		}
+	}
+	// Instance output drivers.
+	for _, ii := range sc.insts {
+		child := e.src.FindModule(ii.ast.ModName)
+		if child == nil {
+			return nil, e.errf(sc, ii.ast.Line, "unknown module %q", ii.ast.ModName)
+		}
+		conns, err := nameConnections(child, ii.ast)
+		if err != nil {
+			return nil, e.errf(sc, ii.ast.Line, "%v", err)
+		}
+		for port, ex := range conns {
+			if ex == nil {
+				continue
+			}
+			if isOutputPort(child, port) {
+				id, ok := ex.(*verilog.Ident)
+				if !ok {
+					return nil, e.errf(sc, ii.ast.Line, "output port .%s must connect to a simple net", port)
+				}
+				ni := sc.nets[id.Name]
+				if ni == nil {
+					return nil, e.errf(sc, ii.ast.Line, "output port .%s connects to undeclared %q", port, id.Name)
+				}
+				ni.drivers = append(ni.drivers, &driver{kind: dkInstOut, inst: ii, port: port})
+			}
+		}
+	}
+	return sc, nil
+}
+
+// isSequential reports whether an always block is edge triggered.
+func isSequential(a *verilog.Always) bool {
+	for _, s := range a.Sens {
+		if s.Edge == verilog.EdgePos || s.Edge == verilog.EdgeNeg {
+			return true
+		}
+	}
+	return false
+}
+
+// assignedNets collects the base names assigned anywhere in a statement.
+func assignedNets(s verilog.Stmt) map[string]bool {
+	out := map[string]bool{}
+	var walk func(verilog.Stmt)
+	walk = func(s verilog.Stmt) {
+		switch v := s.(type) {
+		case *verilog.Block:
+			for _, st := range v.Stmts {
+				walk(st)
+			}
+		case *verilog.If:
+			walk(v.Then)
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		case *verilog.Case:
+			for _, it := range v.Items {
+				walk(it.Body)
+			}
+		case *verilog.For:
+			walk(v.Body)
+		case *verilog.AssignStmt:
+			for _, t := range lhsTargets(v.LHS) {
+				out[t] = true
+			}
+		}
+	}
+	if s != nil {
+		walk(s)
+	}
+	return out
+}
+
+// lhsTargets returns the base net names of an lvalue.
+func lhsTargets(e verilog.Expr) []string {
+	switch v := e.(type) {
+	case *verilog.Ident:
+		return []string{v.Name}
+	case *verilog.Index:
+		return lhsTargets(v.Base)
+	case *verilog.RangeSel:
+		return lhsTargets(v.Base)
+	case *verilog.ConcatExpr:
+		var out []string
+		for _, p := range v.Parts {
+			out = append(out, lhsTargets(p)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// nameConnections maps child port names to the parent expressions,
+// resolving positional connections against the child's port order.
+func nameConnections(child *verilog.Module, inst *verilog.Instance) (map[string]verilog.Expr, error) {
+	out := map[string]verilog.Expr{}
+	positional := false
+	for _, c := range inst.Conns {
+		if c.Name == "" {
+			positional = true
+		}
+	}
+	if positional {
+		if len(inst.Conns) > len(child.Ports) {
+			return nil, fmt.Errorf("instance %s: %d connections for %d ports", inst.Name, len(inst.Conns), len(child.Ports))
+		}
+		for i, c := range inst.Conns {
+			out[child.Ports[i]] = c.Expr
+		}
+		return out, nil
+	}
+	for _, c := range inst.Conns {
+		found := false
+		for _, p := range child.Ports {
+			if p == c.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("instance %s: no port %q on %s", inst.Name, c.Name, child.Name)
+		}
+		out[c.Name] = c.Expr
+	}
+	return out, nil
+}
+
+func isOutputPort(m *verilog.Module, port string) bool {
+	for _, it := range m.Items {
+		if d, ok := it.(*verilog.Decl); ok && d.Dir == verilog.DirOutput {
+			for _, n := range d.Names {
+				if n == port {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isInputPort(m *verilog.Module, port string) bool {
+	for _, it := range m.Items {
+		if d, ok := it.(*verilog.Decl); ok && d.Dir == verilog.DirInput {
+			for _, n := range d.Names {
+				if n == port {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// elabScope drives the full elaboration of one module instance.
+func (e *elaborator) elabScope(sc *scope, isTop bool) error {
+	// 1. Primary inputs (top only; submodule inputs resolve through
+	// their parent-expression drivers).
+	if isTop {
+		for _, port := range sc.mod.Ports {
+			if sc.inputs[port] {
+				ni := sc.nets[port]
+				ni.sig = e.nl.AddInput(ni.full, ni.width)
+				ni.state = nsResolved
+			}
+		}
+	}
+	// 2. Sequential registers: create flip-flop placeholders so reads
+	// resolve without cycles. Memories written sequentially expand to
+	// per-word registers.
+	seqRegs := map[string]bool{}
+	seqMems := map[string]bool{}
+	for _, a := range sc.seqAlways {
+		for name := range assignedNets(a.Body) {
+			if sc.mems[name] != nil {
+				seqMems[name] = true
+			} else {
+				seqRegs[name] = true
+			}
+		}
+	}
+	inits, memInits, err := e.collectInits(sc)
+	if err != nil {
+		return err
+	}
+	for name := range seqRegs {
+		ni := sc.nets[name]
+		if ni == nil {
+			return e.errf(sc, sc.mod.Line, "sequential assignment to undeclared %q", name)
+		}
+		init, ok := inits[name]
+		if !ok {
+			init = bv.NewX(ni.width)
+		}
+		ni.sig = e.nl.DffPlaceholder(ni.width, init, ni.full)
+		ni.state = nsResolved
+	}
+	for name := range seqMems {
+		mi := sc.mems[name]
+		for w := 0; w < mi.words; w++ {
+			full := fmt.Sprintf("%s%s[%d]", sc.prefix, name, w)
+			init := bv.NewX(mi.width)
+			if mv, ok := memInits[name]; ok {
+				if v, ok := mv[w]; ok {
+					init = v
+				}
+			}
+			ni := &netInfo{name: fmt.Sprintf("%s[%d]", name, w), full: full, width: mi.width}
+			ni.sig = e.nl.DffPlaceholder(mi.width, init, full)
+			ni.state = nsResolved
+			mi.wordNets = append(mi.wordNets, ni)
+		}
+	}
+	// 3. Resolve every net (outputs first so POs exist even if unread).
+	for _, port := range sc.mod.Ports {
+		if sc.outputs[port] {
+			sig, err := e.resolveNet(sc, port, sc.mod.Line)
+			if err != nil {
+				return err
+			}
+			if isTop {
+				e.nl.MarkOutput(port, sig)
+			}
+		}
+	}
+	for name := range sc.nets {
+		if _, err := e.resolveNet(sc, name, sc.nets[name].line); err != nil {
+			return err
+		}
+	}
+	// 4. Sequential always blocks: compute next-state and connect DFFs.
+	for _, a := range sc.seqAlways {
+		if err := e.elabSequential(sc, a); err != nil {
+			return err
+		}
+	}
+	// 5. Make sure all instances are elaborated (an instance with no
+	// consumed outputs still contributes logic and state).
+	for _, ii := range sc.insts {
+		if err := e.elabInstance(sc, ii); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectInits evaluates initial blocks into register initial values.
+func (e *elaborator) collectInits(sc *scope) (map[string]bv.BV, map[string]map[int]bv.BV, error) {
+	regs := map[string]bv.BV{}
+	mems := map[string]map[int]bv.BV{}
+	var walk func(s verilog.Stmt) error
+	walk = func(s verilog.Stmt) error {
+		switch v := s.(type) {
+		case *verilog.Block:
+			for _, st := range v.Stmts {
+				if err := walk(st); err != nil {
+					return err
+				}
+			}
+		case *verilog.For:
+			return e.unrollFor(sc, v, walk)
+		case *verilog.AssignStmt:
+			switch lhs := v.LHS.(type) {
+			case *verilog.Ident:
+				ni := sc.nets[lhs.Name]
+				if ni == nil {
+					return e.errf(sc, v.Line, "initial assign to undeclared %q", lhs.Name)
+				}
+				val, err := e.constEvalBV(sc, v.RHS, ni.width)
+				if err != nil {
+					return e.errf(sc, v.Line, "initial value must be constant: %v", err)
+				}
+				regs[lhs.Name] = val
+			case *verilog.Index:
+				base, ok := lhs.Base.(*verilog.Ident)
+				if !ok || sc.mems[base.Name] == nil {
+					return e.errf(sc, v.Line, "unsupported initial target")
+				}
+				mi := sc.mems[base.Name]
+				idx, err := e.constEval(sc, lhs.Idx)
+				if err != nil {
+					return e.errf(sc, v.Line, "initial memory index must be constant: %v", err)
+				}
+				val, err := e.constEvalBV(sc, v.RHS, mi.width)
+				if err != nil {
+					return e.errf(sc, v.Line, "initial value must be constant: %v", err)
+				}
+				if mems[base.Name] == nil {
+					mems[base.Name] = map[int]bv.BV{}
+				}
+				mems[base.Name][int(idx)] = val
+			default:
+				return e.errf(sc, v.Line, "unsupported initial target")
+			}
+		case *verilog.If:
+			return e.errf(sc, v.Line, "conditional initial blocks are not supported")
+		}
+		return nil
+	}
+	for _, ib := range sc.inits {
+		if err := walk(ib.Body); err != nil {
+			return nil, nil, err
+		}
+	}
+	return regs, mems, nil
+}
+
+// resolveNet returns the signal carrying net name, elaborating its
+// drivers on first use.
+func (e *elaborator) resolveNet(sc *scope, name string, line int) (netlist.SignalID, error) {
+	ni := sc.nets[name]
+	if ni == nil {
+		return 0, e.errf(sc, line, "undeclared net %q", name)
+	}
+	switch ni.state {
+	case nsResolved:
+		return ni.sig, nil
+	case nsResolving:
+		return 0, e.errf(sc, ni.line, "combinational cycle through %q", ni.full)
+	}
+	ni.state = nsResolving
+	sig, err := e.buildNet(sc, ni)
+	if err != nil {
+		return 0, err
+	}
+	ni.sig = sig
+	ni.state = nsResolved
+	return sig, nil
+}
+
+// buildNet elaborates all drivers of a net and assembles its value.
+func (e *elaborator) buildNet(sc *scope, ni *netInfo) (netlist.SignalID, error) {
+	if len(ni.drivers) == 0 {
+		// Undriven: an all-x constant (models a floating net).
+		return e.nl.Const(bv.NewX(ni.width)), nil
+	}
+	// pieces[bit] = signal providing that bit, with offset.
+	type piece struct {
+		sig    netlist.SignalID
+		hi, lo int // bits of the net covered
+	}
+	var pieces []piece
+	addPiece := func(sig netlist.SignalID, hi, lo int) error {
+		for _, p := range pieces {
+			if !(hi < p.lo || lo > p.hi) {
+				return e.errf(sc, ni.line, "multiple drivers for %s[%d:%d]", ni.full, hi, lo)
+			}
+		}
+		pieces = append(pieces, piece{sig, hi, lo})
+		return nil
+	}
+	for _, d := range ni.drivers {
+		switch d.kind {
+		case dkAssign:
+			if err := e.elabContinuousAssign(sc, d.assign, ni, addPiece); err != nil {
+				return 0, err
+			}
+		case dkAlways:
+			vals, err := e.elabCombAlways(sc, d.always)
+			if err != nil {
+				return 0, err
+			}
+			sig, ok := vals[ni.name]
+			if !ok {
+				return 0, e.errf(sc, ni.line, "always block does not assign %q", ni.name)
+			}
+			if err := addPiece(sig, ni.width-1, 0); err != nil {
+				return 0, err
+			}
+		case dkInstOut:
+			if err := e.elabInstance(sc, d.inst); err != nil {
+				return 0, err
+			}
+			childNet := d.inst.child.nets[d.port]
+			sig, err := e.resolveNet(d.inst.child, d.port, 0)
+			if err != nil {
+				return 0, err
+			}
+			_ = childNet
+			if err := addPiece(e.coerce(sig, ni.width), ni.width-1, 0); err != nil {
+				return 0, err
+			}
+		case dkParentExpr:
+			sig, err := e.elabExpr(d.parent, d.expr, ni.width)
+			if err != nil {
+				return 0, err
+			}
+			if err := addPiece(e.coerce(sig, ni.width), ni.width-1, 0); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Assemble pieces MSB-first.
+	if len(pieces) == 1 && pieces[0].lo == 0 && pieces[0].hi == ni.width-1 {
+		return e.alias(ni.full, pieces[0].sig), nil
+	}
+	// Sort by lo descending and fill gaps with x.
+	covered := make([]netlist.SignalID, 0, len(pieces)+2)
+	bit := ni.width - 1
+	for bit >= 0 {
+		var found *piece
+		for i := range pieces {
+			if pieces[i].hi == bit {
+				found = &pieces[i]
+				break
+			}
+		}
+		if found == nil {
+			// find next piece below
+			nextHi := -1
+			for i := range pieces {
+				if pieces[i].hi < bit && pieces[i].hi > nextHi {
+					nextHi = pieces[i].hi
+				}
+			}
+			covered = append(covered, e.nl.Const(bv.NewX(bit-nextHi)))
+			bit = nextHi
+			continue
+		}
+		covered = append(covered, found.sig)
+		bit = found.lo - 1
+	}
+	out := e.nl.Concat(covered...)
+	return e.alias(ni.full, out), nil
+}
+
+// alias gives sig a stable hierarchical name via a named buffer (unless
+// it is already so named).
+func (e *elaborator) alias(name string, sig netlist.SignalID) netlist.SignalID {
+	if e.nl.Signals[sig].Name == name {
+		return sig
+	}
+	if _, taken := e.nl.SignalByName(name); taken {
+		return sig
+	}
+	return e.nl.NamedBuf(name, sig)
+}
+
+// coerce zero-extends or truncates sig to width w.
+func (e *elaborator) coerce(sig netlist.SignalID, w int) netlist.SignalID {
+	if e.nl.Width(sig) == w {
+		return sig
+	}
+	return e.nl.Zext(sig, w)
+}
+
+// elabContinuousAssign handles one assign statement targeting net ni.
+func (e *elaborator) elabContinuousAssign(sc *scope, a *verilog.Assign, ni *netInfo, addPiece func(netlist.SignalID, int, int) error) error {
+	// The LHS may be an ident, a part/bit select of it, or a concat
+	// containing it; elaborate the RHS once at the LHS width.
+	lhsW, err := e.lhsWidth(sc, a.LHS)
+	if err != nil {
+		return err
+	}
+	rhs, err := e.elabExpr(sc, a.RHS, lhsW)
+	if err != nil {
+		return err
+	}
+	rhs = e.coerce(rhs, lhsW)
+	// Walk the LHS, slicing rhs accordingly; concat parts consume from
+	// the MSB side.
+	off := lhsW // next unconsumed MSB+1
+	var walk func(lv verilog.Expr) error
+	walk = func(lv verilog.Expr) error {
+		switch v := lv.(type) {
+		case *verilog.ConcatExpr:
+			for _, p := range v.Parts {
+				if err := walk(p); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *verilog.Ident:
+			w, err := e.lhsWidth(sc, v)
+			if err != nil {
+				return err
+			}
+			part := e.sliceOf(rhs, off-1, off-w)
+			off -= w
+			if v.Name != ni.name {
+				return nil // another target of the same assign
+			}
+			return addPiece(part, ni.width-1, 0)
+		case *verilog.RangeSel:
+			base, ok := v.Base.(*verilog.Ident)
+			if !ok {
+				return e.errf(sc, a.Line, "unsupported lvalue")
+			}
+			msb, err := e.constEval(sc, v.Msb)
+			if err != nil {
+				return err
+			}
+			lsb, err := e.constEval(sc, v.Lsb)
+			if err != nil {
+				return err
+			}
+			w := int(msb-lsb) + 1
+			part := e.sliceOf(rhs, off-1, off-w)
+			off -= w
+			if base.Name != ni.name {
+				return nil
+			}
+			return addPiece(part, int(msb), int(lsb))
+		case *verilog.Index:
+			base, ok := v.Base.(*verilog.Ident)
+			if !ok {
+				return e.errf(sc, a.Line, "unsupported lvalue")
+			}
+			idx, err := e.constEval(sc, v.Idx)
+			if err != nil {
+				return e.errf(sc, a.Line, "bit-select assigns need a constant index: %v", err)
+			}
+			part := e.sliceOf(rhs, off-1, off-1)
+			off--
+			if base.Name != ni.name {
+				return nil
+			}
+			return addPiece(part, int(idx), int(idx))
+		}
+		return e.errf(sc, a.Line, "unsupported lvalue")
+	}
+	return walk(a.LHS)
+}
+
+// sliceOf returns sig[hi:lo], avoiding a gate for the identity slice.
+func (e *elaborator) sliceOf(sig netlist.SignalID, hi, lo int) netlist.SignalID {
+	if lo == 0 && hi == e.nl.Width(sig)-1 {
+		return sig
+	}
+	return e.nl.Slice(sig, hi, lo)
+}
+
+// lhsWidth computes the width of an lvalue expression.
+func (e *elaborator) lhsWidth(sc *scope, lv verilog.Expr) (int, error) {
+	switch v := lv.(type) {
+	case *verilog.Ident:
+		if ni := sc.nets[v.Name]; ni != nil {
+			return ni.width, nil
+		}
+		return 0, fmt.Errorf("elab: undeclared lvalue %q", v.Name)
+	case *verilog.RangeSel:
+		msb, err := e.constEval(sc, v.Msb)
+		if err != nil {
+			return 0, err
+		}
+		lsb, err := e.constEval(sc, v.Lsb)
+		if err != nil {
+			return 0, err
+		}
+		return int(msb-lsb) + 1, nil
+	case *verilog.Index:
+		return 1, nil
+	case *verilog.ConcatExpr:
+		w := 0
+		for _, p := range v.Parts {
+			pw, err := e.lhsWidth(sc, p)
+			if err != nil {
+				return 0, err
+			}
+			w += pw
+		}
+		return w, nil
+	}
+	return 0, fmt.Errorf("elab: unsupported lvalue")
+}
+
+// elabInstance elaborates a child module instance once.
+func (e *elaborator) elabInstance(sc *scope, ii *instInfo) error {
+	if ii.done {
+		return nil
+	}
+	child := e.src.FindModule(ii.ast.ModName)
+	conns, err := nameConnections(child, ii.ast)
+	if err != nil {
+		return e.errf(sc, ii.ast.Line, "%v", err)
+	}
+	if ii.child == nil {
+		// Parameter overrides.
+		overrides := map[string]uint64{}
+		if len(ii.ast.ParamOvr) > 0 {
+			pos := 0
+			for _, po := range ii.ast.ParamOvr {
+				if po.Name == "" {
+					if pos < len(child.Params) {
+						v, err := e.constEval(sc, po.Expr)
+						if err != nil {
+							return e.errf(sc, ii.ast.Line, "parameter override: %v", err)
+						}
+						overrides[child.Params[pos].Name] = v
+					}
+					pos++
+					continue
+				}
+				v, err := e.constEval(sc, po.Expr)
+				if err != nil {
+					return e.errf(sc, ii.ast.Line, "parameter override .%s: %v", po.Name, err)
+				}
+				overrides[po.Name] = v
+			}
+		}
+		inputDrivers := map[string]*driver{}
+		for port, ex := range conns {
+			if ex != nil && isInputPort(child, port) {
+				inputDrivers[port] = &driver{kind: dkParentExpr, parent: sc, expr: ex}
+			}
+		}
+		cs, err := e.newScope(child, sc.prefix+ii.ast.Name+".", overrides, inputDrivers)
+		if err != nil {
+			return err
+		}
+		ii.child = cs
+	}
+	ii.done = true
+	return e.elabScope(ii.child, false)
+}

@@ -1,0 +1,143 @@
+package elab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verilog"
+)
+
+// expectError elaborates and requires a diagnostic mentioning want.
+func expectError(t *testing.T, src, top, want string) {
+	t.Helper()
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse should succeed, elaboration should fail: %v", err)
+	}
+	_, err = Elaborate(ast, top, nil)
+	if err == nil {
+		t.Fatalf("elaboration succeeded, want error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err.Error(), want)
+	}
+}
+
+func TestErrorUnknownTop(t *testing.T) {
+	expectError(t, `module a(x); input x; endmodule`, "missing", "no module")
+}
+
+func TestErrorUndeclaredNet(t *testing.T) {
+	expectError(t, `
+module m(y);
+  output y;
+  assign y = ghost;
+endmodule`, "m", "ghost")
+}
+
+func TestErrorAssignToUndeclared(t *testing.T) {
+	expectError(t, `
+module m(a);
+  input a;
+  assign ghost = a;
+endmodule`, "m", "undeclared")
+}
+
+func TestErrorUnknownModule(t *testing.T) {
+	expectError(t, `
+module m(a, y);
+  input a; output y;
+  nothere u0 (.x(a), .z(y));
+endmodule`, "m", "unknown module")
+}
+
+func TestErrorBadPort(t *testing.T) {
+	expectError(t, `
+module sub(x, z);
+  input x; output z;
+  assign z = x;
+endmodule
+module m(a, y);
+  input a; output y;
+  sub u0 (.nope(a), .z(y));
+endmodule`, "m", "no port")
+}
+
+func TestErrorInout(t *testing.T) {
+	expectError(t, `
+module m(a);
+  inout a;
+endmodule`, "m", "inout")
+}
+
+func TestErrorNonConstantRange(t *testing.T) {
+	expectError(t, `
+module m(a, y);
+  input [3:0] a; output y;
+  wire w;
+  assign w = a[a[0]:0];
+  assign y = w;
+endmodule`, "m", "")
+}
+
+func TestErrorMemoryTooLarge(t *testing.T) {
+	expectError(t, `
+module m(clk, a);
+  input clk; input [9:0] a;
+  reg [7:0] mem [0:1023];
+  always @(posedge clk) mem[a] <= 8'd0;
+endmodule`, "m", "memory bounds")
+}
+
+func TestErrorForLoopNonConst(t *testing.T) {
+	expectError(t, `
+module m(a, y);
+  input [3:0] a; output reg [3:0] y;
+  integer i;
+  always @(*) begin
+    y = 0;
+    for (i = 0; i < a; i = i + 1) y[0] = 1;
+  end
+endmodule`, "m", "constant")
+}
+
+func TestErrorMultiEdgeWithoutResetIdiom(t *testing.T) {
+	expectError(t, `
+module m(clk, other, d, q);
+  input clk, other, d; output reg q;
+  always @(posedge clk or posedge other) q <= d;
+endmodule`, "m", "async-reset")
+}
+
+func TestErrorDivisionByVariable(t *testing.T) {
+	expectError(t, `
+module m(a, b, y);
+  input [3:0] a, b; output [3:0] y;
+  assign y = a / b;
+endmodule`, "m", "/")
+}
+
+func TestErrorsDoNotPanic(t *testing.T) {
+	// A grab-bag of half-valid sources: elaboration must error, never
+	// panic.
+	sources := []string{
+		`module m(y); output y; wire w; assign y = w[5]; endmodule`,
+		`module m(y); output [3:0] y; assign y[9:0] = 10'd0; endmodule`,
+		`module m(y); output y; assign y = {0{1'b1}}; endmodule`,
+		`module m(y); output y; sub u0(); endmodule`,
+	}
+	for _, src := range sources {
+		ast, err := verilog.Parse(src)
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("elaborate panicked on %q: %v", src, p)
+				}
+			}()
+			_, _ = Elaborate(ast, "m", nil)
+		}()
+	}
+}

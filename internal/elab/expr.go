@@ -1,0 +1,639 @@
+package elab
+
+import (
+	"fmt"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// constEval evaluates a constant expression (parameters, loop
+// variables, literals and operators over them) to a uint64.
+func (e *elaborator) constEval(sc *scope, ex verilog.Expr) (uint64, error) {
+	switch v := ex.(type) {
+	case *verilog.Num:
+		b, err := bv.ParseVerilog(v.Text)
+		if err != nil {
+			return 0, err
+		}
+		if b.Width() > 64 {
+			return 0, fmt.Errorf("constant wider than 64 bits")
+		}
+		val, ok := b.Uint64()
+		if !ok {
+			return 0, fmt.Errorf("constant %q has unknown bits", v.Text)
+		}
+		return val, nil
+	case *verilog.Ident:
+		if c, ok := sc.consts[v.Name]; ok {
+			return c, nil
+		}
+		if p, ok := sc.params[v.Name]; ok {
+			return p, nil
+		}
+		return 0, fmt.Errorf("%q is not a constant", v.Name)
+	case *verilog.Unary:
+		x, err := e.constEval(sc, v.X)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "-":
+			return -x, nil
+		case "~":
+			return ^x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("unsupported constant unary %q", v.Op)
+	case *verilog.Binary:
+		a, err := e.constEval(sc, v.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.constEval(sc, v.B)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			return a % b, nil
+		case "<<":
+			return a << (b & 63), nil
+		case ">>":
+			return a >> (b & 63), nil
+		case "&":
+			return a & b, nil
+		case "|":
+			return a | b, nil
+		case "^":
+			return a ^ b, nil
+		case "==":
+			return b2u(a == b), nil
+		case "!=":
+			return b2u(a != b), nil
+		case "<":
+			return b2u(a < b), nil
+		case ">":
+			return b2u(a > b), nil
+		case "<=":
+			return b2u(a <= b), nil
+		case ">=":
+			return b2u(a >= b), nil
+		case "&&":
+			return b2u(a != 0 && b != 0), nil
+		case "||":
+			return b2u(a != 0 || b != 0), nil
+		}
+		return 0, fmt.Errorf("unsupported constant binary %q", v.Op)
+	case *verilog.Ternary:
+		c, err := e.constEval(sc, v.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.constEval(sc, v.A)
+		}
+		return e.constEval(sc, v.B)
+	}
+	return 0, fmt.Errorf("not a constant expression")
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// constEvalBV evaluates a constant to a three-valued vector of the
+// given width (x digits in sized literals are preserved — used for
+// initial values and casez labels).
+func (e *elaborator) constEvalBV(sc *scope, ex verilog.Expr, width int) (bv.BV, error) {
+	if num, ok := ex.(*verilog.Num); ok {
+		b, err := bv.ParseVerilog(num.Text)
+		if err != nil {
+			return bv.BV{}, err
+		}
+		if b.Width() == width {
+			return b, nil
+		}
+		return b.Zext(width), nil
+	}
+	v, err := e.constEval(sc, ex)
+	if err != nil {
+		return bv.BV{}, err
+	}
+	if width > 64 {
+		return bv.FromUint64(64, v).Zext(width), nil
+	}
+	return bv.FromUint64(width, v), nil
+}
+
+// natWidth computes the self-determined width of an expression; 0 means
+// "flexible" (unsized literal or parameter), which adapts to context.
+func (e *elaborator) natWidth(sc *scope, ex verilog.Expr) (int, error) {
+	switch v := ex.(type) {
+	case *verilog.Num:
+		b, err := bv.ParseVerilog(v.Text)
+		if err != nil {
+			return 0, err
+		}
+		if hasExplicitWidth(v.Text) {
+			return b.Width(), nil
+		}
+		return 0, nil
+	case *verilog.Ident:
+		if _, ok := sc.consts[v.Name]; ok {
+			return 0, nil
+		}
+		if _, ok := sc.params[v.Name]; ok {
+			return 0, nil
+		}
+		if ni := sc.nets[v.Name]; ni != nil {
+			return ni.width, nil
+		}
+		if mi := sc.mems[v.Name]; mi != nil {
+			return mi.width, nil
+		}
+		return 0, fmt.Errorf("undeclared identifier %q", v.Name)
+	case *verilog.Index:
+		if base, ok := v.Base.(*verilog.Ident); ok {
+			if mi := sc.mems[base.Name]; mi != nil {
+				return mi.width, nil
+			}
+		}
+		return 1, nil
+	case *verilog.RangeSel:
+		msb, err := e.constEval(sc, v.Msb)
+		if err != nil {
+			return 0, err
+		}
+		lsb, err := e.constEval(sc, v.Lsb)
+		if err != nil {
+			return 0, err
+		}
+		return int(msb-lsb) + 1, nil
+	case *verilog.Unary:
+		switch v.Op {
+		case "~", "-":
+			return e.natWidth(sc, v.X)
+		default: // reductions and !
+			return 1, nil
+		}
+	case *verilog.Binary:
+		switch v.Op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||", "===", "!==":
+			return 1, nil
+		case "<<", ">>", "<<<", ">>>":
+			return e.natWidth(sc, v.A)
+		default:
+			wa, err := e.natWidth(sc, v.A)
+			if err != nil {
+				return 0, err
+			}
+			wb, err := e.natWidth(sc, v.B)
+			if err != nil {
+				return 0, err
+			}
+			return maxInt(wa, wb), nil
+		}
+	case *verilog.Ternary:
+		wa, err := e.natWidth(sc, v.A)
+		if err != nil {
+			return 0, err
+		}
+		wb, err := e.natWidth(sc, v.B)
+		if err != nil {
+			return 0, err
+		}
+		return maxInt(wa, wb), nil
+	case *verilog.ConcatExpr:
+		w := 0
+		for _, p := range v.Parts {
+			pw, err := e.natWidth(sc, p)
+			if err != nil {
+				return 0, err
+			}
+			if pw == 0 {
+				pw = 32 // unsized inside concat defaults to 32 bits
+			}
+			w += pw
+		}
+		return w, nil
+	case *verilog.Repl:
+		cnt, err := e.constEval(sc, v.Count)
+		if err != nil {
+			return 0, err
+		}
+		xw, err := e.natWidth(sc, v.X)
+		if err != nil {
+			return 0, err
+		}
+		if xw == 0 {
+			xw = 32
+		}
+		return int(cnt) * xw, nil
+	}
+	return 0, fmt.Errorf("unsupported expression")
+}
+
+func hasExplicitWidth(text string) bool {
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\'' {
+			return i > 0
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// elabExpr builds gates for an expression. ctxWidth (0 = none) is the
+// context width pushed down into arithmetic/bitwise operands, matching
+// Verilog's context-determined sizing closely enough for the subset.
+// The env carries values of nets assigned earlier in the enclosing
+// procedural block (nil outside always blocks).
+func (e *elaborator) elabExpr(sc *scope, ex verilog.Expr, ctxWidth int) (netlist.SignalID, error) {
+	return e.elabExprEnv(sc, nil, ex, ctxWidth)
+}
+
+func (e *elaborator) elabExprEnv(sc *scope, env *procEnv, ex verilog.Expr, ctxWidth int) (netlist.SignalID, error) {
+	nl := e.nl
+	switch v := ex.(type) {
+	case *verilog.Num:
+		b, err := bv.ParseVerilog(v.Text)
+		if err != nil {
+			return 0, err
+		}
+		if !hasExplicitWidth(v.Text) {
+			w := ctxWidth
+			if w == 0 {
+				w = 32
+			}
+			if b.Width() != w {
+				b = b.Zext(w)
+			}
+		}
+		return nl.Const(b), nil
+	case *verilog.Ident:
+		if c, ok := sc.consts[v.Name]; ok {
+			w := ctxWidth
+			if w == 0 {
+				w = 32
+			}
+			return nl.ConstUint(w, c), nil
+		}
+		if p, ok := sc.params[v.Name]; ok {
+			w := ctxWidth
+			if w == 0 {
+				w = 32
+			}
+			return nl.ConstUint(w, p), nil
+		}
+		return e.readVar(sc, env, v.Name, v.Line)
+	case *verilog.Index:
+		if base, ok := v.Base.(*verilog.Ident); ok {
+			if mi := sc.mems[base.Name]; mi != nil {
+				return e.memRead(sc, env, mi, v.Idx)
+			}
+		}
+		baseSig, err := e.elabExprEnv(sc, env, v.Base, 0)
+		if err != nil {
+			return 0, err
+		}
+		if idx, err := e.constEval(sc, v.Idx); err == nil {
+			if int(idx) >= nl.Width(baseSig) {
+				return 0, fmt.Errorf("elab: bit %d out of range", idx)
+			}
+			return nl.Slice(baseSig, int(idx), int(idx)), nil
+		}
+		// Dynamic bit select: (base >> idx)[0].
+		idxSig, err := e.elabExprEnv(sc, env, v.Idx, 0)
+		if err != nil {
+			return 0, err
+		}
+		shifted := nl.Binary(netlist.KShr, baseSig, idxSig)
+		if nl.Width(shifted) == 1 {
+			return shifted, nil
+		}
+		return nl.Slice(shifted, 0, 0), nil
+	case *verilog.RangeSel:
+		baseSig, err := e.elabExprEnv(sc, env, v.Base, 0)
+		if err != nil {
+			return 0, err
+		}
+		msb, err := e.constEval(sc, v.Msb)
+		if err != nil {
+			return 0, err
+		}
+		lsb, err := e.constEval(sc, v.Lsb)
+		if err != nil {
+			return 0, err
+		}
+		return nl.Slice(baseSig, int(msb), int(lsb)), nil
+	case *verilog.Unary:
+		switch v.Op {
+		case "~":
+			x, err := e.elabExprEnv(sc, env, v.X, ctxWidth)
+			if err != nil {
+				return 0, err
+			}
+			return nl.Unary(netlist.KNot, x), nil
+		case "-":
+			x, err := e.elabExprEnv(sc, env, v.X, ctxWidth)
+			if err != nil {
+				return 0, err
+			}
+			zero := nl.ConstUint(nl.Width(x), 0)
+			return nl.Binary(netlist.KSub, zero, x), nil
+		case "!":
+			x, err := e.elabExprEnv(sc, env, v.X, 0)
+			if err != nil {
+				return 0, err
+			}
+			return nl.Unary(netlist.KNot, e.boolify(x)), nil
+		case "&":
+			x, err := e.elabExprEnv(sc, env, v.X, 0)
+			if err != nil {
+				return 0, err
+			}
+			return nl.Unary(netlist.KRedAnd, x), nil
+		case "|":
+			x, err := e.elabExprEnv(sc, env, v.X, 0)
+			if err != nil {
+				return 0, err
+			}
+			return nl.Unary(netlist.KRedOr, x), nil
+		case "^":
+			x, err := e.elabExprEnv(sc, env, v.X, 0)
+			if err != nil {
+				return 0, err
+			}
+			return nl.Unary(netlist.KRedXor, x), nil
+		}
+		return 0, fmt.Errorf("elab: unsupported unary %q", v.Op)
+	case *verilog.Binary:
+		return e.elabBinary(sc, env, v, ctxWidth)
+	case *verilog.Ternary:
+		cond, err := e.elabExprEnv(sc, env, v.Cond, 0)
+		if err != nil {
+			return 0, err
+		}
+		wa, err := e.natWidth(sc, v.A)
+		if err != nil {
+			return 0, err
+		}
+		wb, err := e.natWidth(sc, v.B)
+		if err != nil {
+			return 0, err
+		}
+		w := maxInt(maxInt(wa, wb), ctxWidth)
+		if w == 0 {
+			w = 32
+		}
+		a, err := e.elabExprEnv(sc, env, v.A, w)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.elabExprEnv(sc, env, v.B, w)
+		if err != nil {
+			return 0, err
+		}
+		// Mux data order: data[0] = else, data[1] = then.
+		return nl.Mux(e.boolify(cond), e.coerce(b, w), e.coerce(a, w)), nil
+	case *verilog.ConcatExpr:
+		var parts []netlist.SignalID
+		for _, p := range v.Parts {
+			ps, err := e.elabExprEnv(sc, env, p, 0)
+			if err != nil {
+				return 0, err
+			}
+			parts = append(parts, ps)
+		}
+		return nl.Concat(parts...), nil
+	case *verilog.Repl:
+		cnt, err := e.constEval(sc, v.Count)
+		if err != nil {
+			return 0, err
+		}
+		if cnt == 0 || cnt > 512 {
+			return 0, fmt.Errorf("elab: bad replication count %d", cnt)
+		}
+		x, err := e.elabExprEnv(sc, env, v.X, 0)
+		if err != nil {
+			return 0, err
+		}
+		parts := make([]netlist.SignalID, cnt)
+		for i := range parts {
+			parts[i] = x
+		}
+		return nl.Concat(parts...), nil
+	}
+	return 0, fmt.Errorf("elab: unsupported expression")
+}
+
+func (e *elaborator) elabBinary(sc *scope, env *procEnv, v *verilog.Binary, ctxWidth int) (netlist.SignalID, error) {
+	nl := e.nl
+	switch v.Op {
+	case "&&", "||":
+		a, err := e.elabExprEnv(sc, env, v.A, 0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.elabExprEnv(sc, env, v.B, 0)
+		if err != nil {
+			return 0, err
+		}
+		k := netlist.KAnd
+		if v.Op == "||" {
+			k = netlist.KOr
+		}
+		return nl.Binary(k, e.boolify(a), e.boolify(b)), nil
+	case "==", "!=", "<", ">", "<=", ">=", "===", "!==":
+		wa, err := e.natWidth(sc, v.A)
+		if err != nil {
+			return 0, err
+		}
+		wb, err := e.natWidth(sc, v.B)
+		if err != nil {
+			return 0, err
+		}
+		w := maxInt(wa, wb)
+		if w == 0 {
+			w = 32
+		}
+		a, err := e.elabExprEnv(sc, env, v.A, w)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.elabExprEnv(sc, env, v.B, w)
+		if err != nil {
+			return 0, err
+		}
+		a, b = e.coerce(a, w), e.coerce(b, w)
+		var k netlist.Kind
+		switch v.Op {
+		case "==", "===":
+			k = netlist.KEq
+		case "!=", "!==":
+			k = netlist.KNe
+		case "<":
+			k = netlist.KLt
+		case ">":
+			k = netlist.KGt
+		case "<=":
+			k = netlist.KLe
+		case ">=":
+			k = netlist.KGe
+		}
+		return nl.Binary(k, a, b), nil
+	case "<<", ">>", "<<<", ">>>":
+		a, err := e.elabExprEnv(sc, env, v.A, ctxWidth)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.elabExprEnv(sc, env, v.B, 0)
+		if err != nil {
+			return 0, err
+		}
+		k := netlist.KShl
+		if v.Op == ">>" || v.Op == ">>>" {
+			k = netlist.KShr
+		}
+		return nl.Binary(k, a, b), nil
+	case "+", "-", "*", "&", "|", "^":
+		wa, err := e.natWidth(sc, v.A)
+		if err != nil {
+			return 0, err
+		}
+		wb, err := e.natWidth(sc, v.B)
+		if err != nil {
+			return 0, err
+		}
+		w := maxInt(maxInt(wa, wb), ctxWidth)
+		if w == 0 {
+			w = 32
+		}
+		a, err := e.elabExprEnv(sc, env, v.A, w)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.elabExprEnv(sc, env, v.B, w)
+		if err != nil {
+			return 0, err
+		}
+		a, b = e.coerce(a, w), e.coerce(b, w)
+		var k netlist.Kind
+		switch v.Op {
+		case "+":
+			k = netlist.KAdd
+		case "-":
+			k = netlist.KSub
+		case "*":
+			k = netlist.KMul
+		case "&":
+			k = netlist.KAnd
+		case "|":
+			k = netlist.KOr
+		case "^":
+			k = netlist.KXor
+		}
+		return nl.Binary(k, a, b), nil
+	case "/", "%":
+		// Division only with constant operands (strength-reduced).
+		av, errA := e.constEval(sc, v.A)
+		bvv, errB := e.constEval(sc, v.B)
+		if errA == nil && errB == nil && bvv != 0 {
+			w := ctxWidth
+			if w == 0 {
+				w = 32
+			}
+			if v.Op == "/" {
+				return nl.ConstUint(w, av/bvv), nil
+			}
+			return nl.ConstUint(w, av%bvv), nil
+		}
+		return 0, fmt.Errorf("elab: non-constant %q is not supported", v.Op)
+	}
+	return 0, fmt.Errorf("elab: unsupported binary %q", v.Op)
+}
+
+// boolify reduces a multi-bit value to one control bit (non-zero test).
+func (e *elaborator) boolify(sig netlist.SignalID) netlist.SignalID {
+	if e.nl.Width(sig) == 1 {
+		return sig
+	}
+	return e.nl.Unary(netlist.KRedOr, sig)
+}
+
+// readVar reads a net inside (env != nil) or outside a procedural
+// block.
+func (e *elaborator) readVar(sc *scope, env *procEnv, name string, line int) (netlist.SignalID, error) {
+	if env != nil {
+		if sig, ok := env.vals[name]; ok {
+			return sig, nil
+		}
+	}
+	if ni := sc.nets[name]; ni != nil {
+		return e.resolveNet(sc, name, line)
+	}
+	return 0, fmt.Errorf("elab: undeclared identifier %q (line %d)", name, line)
+}
+
+// memRead builds the read mux tree for mem[addr].
+func (e *elaborator) memRead(sc *scope, env *procEnv, mi *memInfo, addr verilog.Expr) (netlist.SignalID, error) {
+	if mi.wordNets == nil {
+		return 0, fmt.Errorf("elab: memory %q is never written (reads unsupported)", mi.name)
+	}
+	if idx, err := e.constEval(sc, addr); err == nil {
+		if int(idx) >= mi.words {
+			return 0, fmt.Errorf("elab: memory index %d out of range", idx)
+		}
+		return e.memWord(sc, env, mi, int(idx)), nil
+	}
+	addrSig, err := e.elabExprEnv(sc, env, addr, 0)
+	if err != nil {
+		return 0, err
+	}
+	data := make([]netlist.SignalID, mi.words)
+	for w := 0; w < mi.words; w++ {
+		data[w] = e.memWord(sc, env, mi, w)
+	}
+	return e.nl.Mux(addrSig, data...), nil
+}
+
+// memWord returns the current value of word w (env override or the
+// register output).
+func (e *elaborator) memWord(sc *scope, env *procEnv, mi *memInfo, w int) netlist.SignalID {
+	key := fmt.Sprintf("%s[%d]", mi.name, w)
+	if env != nil {
+		if sig, ok := env.vals[key]; ok {
+			return sig
+		}
+	}
+	return mi.wordNets[w].sig
+}

@@ -1,0 +1,594 @@
+package elab
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// procEnv carries the symbolic values assigned so far while executing a
+// procedural block. Keys are net names (or "mem[i]" for memory words).
+type procEnv struct {
+	vals map[string]netlist.SignalID
+	// seq marks sequential execution: reads of registers fall through
+	// to the flip-flop output rather than the pending next value.
+	seq bool
+}
+
+func newProcEnv(seq bool) *procEnv {
+	return &procEnv{vals: map[string]netlist.SignalID{}, seq: seq}
+}
+
+func (p *procEnv) clone() *procEnv {
+	c := newProcEnv(p.seq)
+	for k, v := range p.vals {
+		c.vals[k] = v
+	}
+	return c
+}
+
+// combAlwaysCache memoizes elaborated combinational blocks per scope.
+type combAlwaysResult struct {
+	vals map[string]netlist.SignalID
+	busy bool
+}
+
+// elabCombAlways symbolically executes an @(*) block once, returning
+// the final value of each assigned net. Reads of nets assigned later in
+// the same block see an all-x constant (write-before-read style is
+// required, which the default-assignment idiom satisfies).
+func (e *elaborator) elabCombAlways(sc *scope, a *verilog.Always) (map[string]netlist.SignalID, error) {
+	if sc.combCache == nil {
+		sc.combCache = map[*verilog.Always]*combAlwaysResult{}
+	}
+	if r, ok := sc.combCache[a]; ok {
+		if r.busy {
+			return nil, e.errf(sc, a.Line, "combinational cycle through always block")
+		}
+		return r.vals, nil
+	}
+	r := &combAlwaysResult{busy: true}
+	sc.combCache[a] = r
+	env := newProcEnv(false)
+	if err := e.execStmt(sc, env, a.Body); err != nil {
+		return nil, err
+	}
+	r.vals = env.vals
+	r.busy = false
+	return r.vals, nil
+}
+
+// execStmt symbolically executes one statement, updating env.
+func (e *elaborator) execStmt(sc *scope, env *procEnv, s verilog.Stmt) error {
+	switch v := s.(type) {
+	case *verilog.Block:
+		for _, st := range v.Stmts {
+			if err := e.execStmt(sc, env, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.AssignStmt:
+		return e.execAssign(sc, env, v)
+	case *verilog.If:
+		cond, err := e.elabExprEnv(sc, env, v.Cond, 0)
+		if err != nil {
+			return err
+		}
+		cond = e.boolify(cond)
+		thenEnv := env.clone()
+		if err := e.execStmt(sc, thenEnv, v.Then); err != nil {
+			return err
+		}
+		elseEnv := env.clone()
+		if v.Else != nil {
+			if err := e.execStmt(sc, elseEnv, v.Else); err != nil {
+				return err
+			}
+		}
+		e.mergeEnvs(sc, env, cond, thenEnv, elseEnv)
+		return nil
+	case *verilog.Case:
+		return e.execCase(sc, env, v)
+	case *verilog.For:
+		return e.unrollFor(sc, v, func(body verilog.Stmt) error {
+			return e.execStmt(sc, env, body)
+		})
+	}
+	return fmt.Errorf("elab: unsupported statement")
+}
+
+// mergeEnvs writes Mux(cond, elseVal, thenVal) into env for every net
+// assigned in either branch.
+func (e *elaborator) mergeEnvs(sc *scope, env *procEnv, cond netlist.SignalID, thenEnv, elseEnv *procEnv) {
+	keys := map[string]bool{}
+	for k := range thenEnv.vals {
+		keys[k] = true
+	}
+	for k := range elseEnv.vals {
+		keys[k] = true
+	}
+	// Deterministic order keeps netlists reproducible run to run.
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		tv, tok := thenEnv.vals[k]
+		ev, eok := elseEnv.vals[k]
+		base, baseOK := env.vals[k]
+		if !tok {
+			if baseOK {
+				tv = base
+			} else {
+				tv = e.fallback(sc, env, k)
+			}
+		}
+		if !eok {
+			if baseOK {
+				ev = base
+			} else {
+				ev = e.fallback(sc, env, k)
+			}
+		}
+		if tv == ev {
+			env.vals[k] = tv
+			continue
+		}
+		env.vals[k] = e.nl.Mux(cond, ev, tv)
+	}
+}
+
+// fallback is the value a net holds when a branch does not assign it:
+// for sequential blocks the register output (hold); for combinational
+// blocks an all-x constant (incomplete assignment — a would-be latch).
+func (e *elaborator) fallback(sc *scope, env *procEnv, key string) netlist.SignalID {
+	if ni := sc.nets[key]; ni != nil {
+		if env.seq && ni.state == nsResolved {
+			return ni.sig
+		}
+		if !env.seq {
+			if ni.state == nsResolved {
+				return ni.sig // e.g. reading a net driven elsewhere
+			}
+			return e.nl.Const(bv.NewX(ni.width))
+		}
+	}
+	// Memory word key "mem[i]".
+	for _, mi := range sc.mems {
+		for w, wn := range mi.wordNets {
+			if key == fmt.Sprintf("%s[%d]", mi.name, w) {
+				return wn.sig
+			}
+		}
+	}
+	panic("elab: fallback for unknown key " + key)
+}
+
+func (e *elaborator) execCase(sc *scope, env *procEnv, v *verilog.Case) error {
+	wSubj, err := e.natWidth(sc, v.Subject)
+	if err != nil {
+		return err
+	}
+	if wSubj == 0 {
+		wSubj = 32
+	}
+	subj, err := e.elabExprEnv(sc, env, v.Subject, wSubj)
+	if err != nil {
+		return err
+	}
+	subj = e.coerce(subj, wSubj)
+	// Priority if-else chain, last default as the final else.
+	type arm struct {
+		cond netlist.SignalID // None for default
+		body verilog.Stmt
+	}
+	var arms []arm
+	for _, item := range v.Items {
+		if item.Labels == nil {
+			arms = append(arms, arm{cond: netlist.None, body: item.Body})
+			continue
+		}
+		var cond netlist.SignalID = netlist.None
+		for _, lab := range item.Labels {
+			var c netlist.SignalID
+			labBV, err := e.constEvalBV(sc, lab, wSubj)
+			if err == nil && (!labBV.IsFullyKnown() || v.Casez) {
+				// casez / x-bits: masked equality.
+				mask := bv.NewX(wSubj)
+				val := bv.NewX(wSubj)
+				for i := 0; i < wSubj; i++ {
+					if labBV.Bit(i) == bv.X {
+						mask = mask.WithBit(i, bv.Zero)
+						val = val.WithBit(i, bv.Zero)
+					} else {
+						mask = mask.WithBit(i, bv.One)
+						val = val.WithBit(i, labBV.Bit(i))
+					}
+				}
+				masked := e.nl.Binary(netlist.KAnd, subj, e.nl.Const(mask))
+				c = e.nl.Binary(netlist.KEq, masked, e.nl.Const(val))
+			} else {
+				labSig, err := e.elabExprEnv(sc, env, lab, wSubj)
+				if err != nil {
+					return err
+				}
+				c = e.nl.Binary(netlist.KEq, subj, e.coerce(labSig, wSubj))
+			}
+			if cond == netlist.None {
+				cond = c
+			} else {
+				cond = e.nl.Binary(netlist.KOr, cond, c)
+			}
+		}
+		arms = append(arms, arm{cond: cond, body: item.Body})
+	}
+	// Execute from the last arm backwards, folding into if-else.
+	var exec func(i int, env *procEnv) error
+	exec = func(i int, env *procEnv) error {
+		if i >= len(arms) {
+			return nil
+		}
+		a := arms[i]
+		if a.cond == netlist.None { // default
+			return e.execStmt(sc, env, a.body)
+		}
+		thenEnv := env.clone()
+		if err := e.execStmt(sc, thenEnv, a.body); err != nil {
+			return err
+		}
+		elseEnv := env.clone()
+		if err := exec(i+1, elseEnv); err != nil {
+			return err
+		}
+		e.mergeEnvs(sc, env, a.cond, thenEnv, elseEnv)
+		return nil
+	}
+	return exec(0, env)
+}
+
+// execAssign handles procedural assignment targets.
+func (e *elaborator) execAssign(sc *scope, env *procEnv, v *verilog.AssignStmt) error {
+	switch lhs := v.LHS.(type) {
+	case *verilog.Ident:
+		ni := sc.nets[lhs.Name]
+		if ni == nil {
+			if _, isMem := sc.mems[lhs.Name]; isMem {
+				return e.errf(sc, v.Line, "assignment to whole memory %q", lhs.Name)
+			}
+			if _, isConst := sc.consts[lhs.Name]; isConst {
+				return nil // loop variable reassignment inside body: ignore
+			}
+			return e.errf(sc, v.Line, "assignment to undeclared %q", lhs.Name)
+		}
+		rhs, err := e.elabExprEnv(sc, env, v.RHS, ni.width)
+		if err != nil {
+			return err
+		}
+		env.vals[lhs.Name] = e.coerce(rhs, ni.width)
+		return nil
+	case *verilog.Index:
+		base, ok := lhs.Base.(*verilog.Ident)
+		if !ok {
+			return e.errf(sc, v.Line, "unsupported assignment target")
+		}
+		if mi := sc.mems[base.Name]; mi != nil {
+			return e.execMemWrite(sc, env, mi, lhs.Idx, v)
+		}
+		ni := sc.nets[base.Name]
+		if ni == nil {
+			return e.errf(sc, v.Line, "assignment to undeclared %q", base.Name)
+		}
+		idx, err := e.constEval(sc, lhs.Idx)
+		if err != nil {
+			return e.errf(sc, v.Line, "bit-select target needs constant index: %v", err)
+		}
+		if int(idx) >= ni.width {
+			return e.errf(sc, v.Line, "bit %d out of range of %q", idx, base.Name)
+		}
+		rhs, err := e.elabExprEnv(sc, env, v.RHS, 1)
+		if err != nil {
+			return err
+		}
+		return e.mergeBits(sc, env, ni, int(idx), int(idx), e.coerce(rhs, 1))
+	case *verilog.RangeSel:
+		base, ok := lhs.Base.(*verilog.Ident)
+		if !ok {
+			return e.errf(sc, v.Line, "unsupported assignment target")
+		}
+		ni := sc.nets[base.Name]
+		if ni == nil {
+			return e.errf(sc, v.Line, "assignment to undeclared %q", base.Name)
+		}
+		msb, err := e.constEval(sc, lhs.Msb)
+		if err != nil {
+			return err
+		}
+		lsb, err := e.constEval(sc, lhs.Lsb)
+		if err != nil {
+			return err
+		}
+		w := int(msb-lsb) + 1
+		rhs, err := e.elabExprEnv(sc, env, v.RHS, w)
+		if err != nil {
+			return err
+		}
+		return e.mergeBits(sc, env, ni, int(msb), int(lsb), e.coerce(rhs, w))
+	case *verilog.ConcatExpr:
+		// {a, b} = rhs: split MSB-first.
+		totalW, err := e.lhsWidth(sc, lhs)
+		if err != nil {
+			return err
+		}
+		rhs, err := e.elabExprEnv(sc, env, v.RHS, totalW)
+		if err != nil {
+			return err
+		}
+		rhs = e.coerce(rhs, totalW)
+		off := totalW
+		for _, p := range lhs.Parts {
+			pw, err := e.lhsWidth(sc, p)
+			if err != nil {
+				return err
+			}
+			sub := &verilog.AssignStmt{LHS: p, RHS: nil, NonBlocking: v.NonBlocking, Line: v.Line}
+			part := e.sliceOf(rhs, off-1, off-pw)
+			off -= pw
+			if err := e.execAssignSig(sc, env, sub, part); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.errf(sc, v.Line, "unsupported assignment target")
+}
+
+// execAssignSig is execAssign with a pre-elaborated RHS signal.
+func (e *elaborator) execAssignSig(sc *scope, env *procEnv, v *verilog.AssignStmt, rhs netlist.SignalID) error {
+	switch lhs := v.LHS.(type) {
+	case *verilog.Ident:
+		ni := sc.nets[lhs.Name]
+		if ni == nil {
+			return e.errf(sc, v.Line, "assignment to undeclared %q", lhs.Name)
+		}
+		env.vals[lhs.Name] = e.coerce(rhs, ni.width)
+		return nil
+	case *verilog.Index:
+		base := lhs.Base.(*verilog.Ident)
+		ni := sc.nets[base.Name]
+		idx, err := e.constEval(sc, lhs.Idx)
+		if err != nil {
+			return err
+		}
+		return e.mergeBits(sc, env, ni, int(idx), int(idx), e.coerce(rhs, 1))
+	case *verilog.RangeSel:
+		base := lhs.Base.(*verilog.Ident)
+		ni := sc.nets[base.Name]
+		msb, _ := e.constEval(sc, lhs.Msb)
+		lsb, _ := e.constEval(sc, lhs.Lsb)
+		return e.mergeBits(sc, env, ni, int(msb), int(lsb), e.coerce(rhs, int(msb-lsb)+1))
+	}
+	return e.errf(sc, v.Line, "unsupported assignment target")
+}
+
+// mergeBits performs a read-modify-write of bits [msb:lsb] of a net's
+// current procedural value.
+func (e *elaborator) mergeBits(sc *scope, env *procEnv, ni *netInfo, msb, lsb int, part netlist.SignalID) error {
+	cur, ok := env.vals[ni.name]
+	if !ok {
+		cur = e.fallback(sc, env, ni.name)
+	}
+	var pieces []netlist.SignalID
+	if msb < ni.width-1 {
+		pieces = append(pieces, e.nl.Slice(cur, ni.width-1, msb+1))
+	}
+	pieces = append(pieces, part)
+	if lsb > 0 {
+		pieces = append(pieces, e.nl.Slice(cur, lsb-1, 0))
+	}
+	if len(pieces) == 1 {
+		env.vals[ni.name] = pieces[0]
+		return nil
+	}
+	env.vals[ni.name] = e.nl.Concat(pieces...)
+	return nil
+}
+
+// execMemWrite handles mem[addr] <= data, expanding to per-word
+// conditional updates when the address is not constant.
+func (e *elaborator) execMemWrite(sc *scope, env *procEnv, mi *memInfo, addrEx verilog.Expr, v *verilog.AssignStmt) error {
+	if mi.wordNets == nil {
+		return e.errf(sc, v.Line, "memory %q written outside a sequential always block", mi.name)
+	}
+	rhs, err := e.elabExprEnv(sc, env, v.RHS, mi.width)
+	if err != nil {
+		return err
+	}
+	rhs = e.coerce(rhs, mi.width)
+	if idx, err := e.constEval(sc, addrEx); err == nil {
+		if int(idx) >= mi.words {
+			return e.errf(sc, v.Line, "memory index %d out of range", idx)
+		}
+		env.vals[fmt.Sprintf("%s[%d]", mi.name, idx)] = rhs
+		return nil
+	}
+	addr, err := e.elabExprEnv(sc, env, addrEx, 0)
+	if err != nil {
+		return err
+	}
+	for w := 0; w < mi.words; w++ {
+		key := fmt.Sprintf("%s[%d]", mi.name, w)
+		cur := e.memWord(sc, env, mi, w)
+		hit := e.nl.Binary(netlist.KEq, addr, e.nl.ConstUint(e.nl.Width(addr), uint64(w)))
+		env.vals[key] = e.nl.Mux(hit, cur, rhs)
+	}
+	return nil
+}
+
+// unrollFor evaluates a constant-bound for loop, calling body for each
+// iteration with the loop variable bound in sc.consts.
+func (e *elaborator) unrollFor(sc *scope, f *verilog.For, body func(verilog.Stmt) error) error {
+	init, err := e.constEval(sc, f.Init)
+	if err != nil {
+		return e.errf(sc, f.Line, "for-loop init must be constant: %v", err)
+	}
+	step, err := e.constEval(sc, f.Step)
+	if err != nil {
+		return e.errf(sc, f.Line, "for-loop step must be constant: %v", err)
+	}
+	saved, had := sc.consts[f.Var]
+	defer func() {
+		if had {
+			sc.consts[f.Var] = saved
+		} else {
+			delete(sc.consts, f.Var)
+		}
+	}()
+	i := init
+	for iter := 0; ; iter++ {
+		if iter > 4096 {
+			return e.errf(sc, f.Line, "for loop exceeds 4096 iterations")
+		}
+		sc.consts[f.Var] = i
+		cond, err := e.constEval(sc, f.Cond)
+		if err != nil {
+			return e.errf(sc, f.Line, "for-loop condition must be constant: %v", err)
+		}
+		if cond == 0 {
+			return nil
+		}
+		if err := body(f.Body); err != nil {
+			return err
+		}
+		if f.StepOp == "+" {
+			i += step
+		} else {
+			i -= step
+		}
+	}
+}
+
+// elabSequential elaborates an edge-triggered always block: next-state
+// logic plus flip-flop connection, with the async-reset idiom mapped to
+// a reset multiplexor.
+func (e *elaborator) elabSequential(sc *scope, a *verilog.Always) error {
+	// Identify an async reset: a second edge-sensitive signal tested by
+	// a top-level if.
+	body := a.Body
+	if blk, ok := body.(*verilog.Block); ok && len(blk.Stmts) == 1 {
+		body = blk.Stmts[0]
+	}
+	var resetSig string
+	var resetActive bool // true: if(rst), false: if(!rst)
+	var resetBody, normalBody verilog.Stmt
+	normalBody = a.Body
+	if len(a.Sens) > 1 {
+		if ifs, ok := body.(*verilog.If); ok {
+			name, active := resetCondSignal(ifs.Cond)
+			if name != "" {
+				for _, s := range a.Sens[1:] {
+					if s.Signal == name {
+						resetSig, resetActive = name, active
+						resetBody = ifs.Then
+						normalBody = ifs.Else
+						break
+					}
+				}
+			}
+		}
+		if resetSig == "" {
+			return e.errf(sc, a.Line, "multiple-edge always must use the async-reset if idiom")
+		}
+	}
+	envN := newProcEnv(true)
+	if normalBody != nil {
+		if err := e.execStmt(sc, envN, normalBody); err != nil {
+			return err
+		}
+	}
+	var envR *procEnv
+	if resetSig != "" {
+		envR = newProcEnv(true)
+		if err := e.execStmt(sc, envR, resetBody); err != nil {
+			return err
+		}
+	}
+	// Connect each assigned register.
+	keys := map[string]bool{}
+	for k := range envN.vals {
+		keys[k] = true
+	}
+	if envR != nil {
+		for k := range envR.vals {
+			keys[k] = true
+		}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		q := e.seqTarget(sc, k)
+		if q == netlist.None {
+			return e.errf(sc, a.Line, "sequential assignment to unknown register %q", k)
+		}
+		next, ok := envN.vals[k]
+		if !ok {
+			next = q // hold
+		}
+		if envR != nil {
+			rst, err := e.resolveNet(sc, resetSig, a.Line)
+			if err != nil {
+				return err
+			}
+			rst = e.boolify(rst)
+			if !resetActive {
+				rst = e.nl.Unary(netlist.KNot, rst)
+			}
+			rval, ok := envR.vals[k]
+			if !ok {
+				rval = q
+			}
+			// rst==1 selects the reset value.
+			next = e.nl.Mux(rst, next, rval)
+		}
+		e.nl.ConnectDff(q, next)
+	}
+	return nil
+}
+
+// seqTarget finds the flip-flop output signal for a register or memory
+// word key.
+func (e *elaborator) seqTarget(sc *scope, key string) netlist.SignalID {
+	if ni := sc.nets[key]; ni != nil && ni.state == nsResolved {
+		return ni.sig
+	}
+	for _, mi := range sc.mems {
+		for w, wn := range mi.wordNets {
+			if key == fmt.Sprintf("%s[%d]", mi.name, w) {
+				return wn.sig
+			}
+		}
+	}
+	return netlist.None
+}
+
+// resetCondSignal matches "rst" or "!rst" / "~rst" conditions.
+func resetCondSignal(cond verilog.Expr) (name string, active bool) {
+	switch v := cond.(type) {
+	case *verilog.Ident:
+		return v.Name, true
+	case *verilog.Unary:
+		if v.Op == "!" || v.Op == "~" {
+			if id, ok := v.X.(*verilog.Ident); ok {
+				return id.Name, false
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,121 @@
+// Package estg implements the Extended State Transition Graph of the
+// paper (§1, §5): a store of abstract control-state information learned
+// during ATPG search. Whenever the search encounters a conflict in an
+// abstract state transition, or learns that a transition leads to a
+// hard-to-reach state, the transition is recorded; subsequent searches
+// consult the record to order decisions away from known-bad regions.
+//
+// The abstract state is the cube of control flip-flop values (hashing
+// via bv.Key). Recorded information is used as heuristic guidance —
+// decision ordering and value polarity — which is always sound; it also
+// caches completed bounded-proof results keyed by (property, depth) so
+// re-checks and deepening runs skip work.
+package estg
+
+import "sync"
+
+// Store accumulates learned state/transition information. It is safe
+// for concurrent use (benchmarks run checkers in parallel).
+type Store struct {
+	mu sync.Mutex
+	// conflicts counts dead-end encounters per abstract state key.
+	conflicts map[string]int
+	// transitions counts conflicting (from, to) transition pairs.
+	transitions map[string]int
+	// provedNoCex caches property+depth combinations exhausted without
+	// a counterexample.
+	provedNoCex map[string]bool
+	// reachable caches state keys observed on validated traces.
+	reachable map[string]bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		conflicts:   map[string]int{},
+		transitions: map[string]int{},
+		provedNoCex: map[string]bool{},
+		reachable:   map[string]bool{},
+	}
+}
+
+// RecordConflict notes a dead-end at abstract state key.
+func (s *Store) RecordConflict(stateKey string) {
+	s.mu.Lock()
+	s.conflicts[stateKey]++
+	s.mu.Unlock()
+}
+
+// ConflictCount returns how often the state dead-ended.
+func (s *Store) ConflictCount(stateKey string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conflicts[stateKey]
+}
+
+// RecordConflictTransition notes that the (from → to) abstract
+// transition led to a conflict.
+func (s *Store) RecordConflictTransition(fromKey, toKey string) {
+	s.mu.Lock()
+	s.transitions[fromKey+"\x00"+toKey]++
+	s.mu.Unlock()
+}
+
+// TransitionConflicts returns the conflict count of a transition.
+func (s *Store) TransitionConflicts(fromKey, toKey string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transitions[fromKey+"\x00"+toKey]
+}
+
+// RecordReachable notes a state seen on a validated trace.
+func (s *Store) RecordReachable(stateKey string) {
+	s.mu.Lock()
+	s.reachable[stateKey] = true
+	s.mu.Unlock()
+}
+
+// Reachable reports whether the state was seen on a validated trace.
+func (s *Store) Reachable(stateKey string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reachable[stateKey]
+}
+
+// RecordNoCex caches that property prop has no counterexample within
+// depth frames.
+func (s *Store) RecordNoCex(prop string, depth int) {
+	s.mu.Lock()
+	s.provedNoCex[noCexKey(prop, depth)] = true
+	s.mu.Unlock()
+}
+
+// KnownNoCex reports whether a no-counterexample result is cached for
+// prop at exactly depth frames.
+func (s *Store) KnownNoCex(prop string, depth int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.provedNoCex[noCexKey(prop, depth)]
+}
+
+func noCexKey(prop string, depth int) string {
+	// depth is small; a two-byte suffix keeps keys compact.
+	return prop + "\x00" + string(rune(depth))
+}
+
+// Stats summarizes the store contents.
+type Stats struct {
+	Conflicts, Transitions, Reachable, CachedProofs int
+}
+
+// Stats returns summary counts.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Conflicts:    len(s.conflicts),
+		Transitions:  len(s.transitions),
+		Reachable:    len(s.reachable),
+		CachedProofs: len(s.provedNoCex),
+	}
+}

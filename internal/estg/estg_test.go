@@ -1,0 +1,86 @@
+package estg
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConflictRecording(t *testing.T) {
+	s := NewStore()
+	s.RecordConflict("0101")
+	s.RecordConflict("0101")
+	if got := s.ConflictCount("0101"); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+	if got := s.ConflictCount("1111"); got != 0 {
+		t.Errorf("unseen count = %d, want 0", got)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	s := NewStore()
+	s.RecordConflictTransition("00", "01")
+	if s.TransitionConflicts("00", "01") != 1 {
+		t.Error("transition not recorded")
+	}
+	if s.TransitionConflicts("01", "00") != 0 {
+		t.Error("reverse transition should be distinct")
+	}
+	// Key separator must prevent ambiguity: ("a", "bc") vs ("ab", "c").
+	s.RecordConflictTransition("a", "bc")
+	if s.TransitionConflicts("ab", "c") != 0 {
+		t.Error("transition keys collide")
+	}
+}
+
+func TestNoCexCache(t *testing.T) {
+	s := NewStore()
+	s.RecordNoCex("p9", 5)
+	if !s.KnownNoCex("p9", 5) {
+		t.Error("cache miss")
+	}
+	if s.KnownNoCex("p9", 6) || s.KnownNoCex("p8", 5) {
+		t.Error("cache over-matches")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	s := NewStore()
+	s.RecordReachable("0011")
+	if !s.Reachable("0011") || s.Reachable("1100") {
+		t.Error("reachable store broken")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore()
+	s.RecordConflict("a")
+	s.RecordConflictTransition("a", "b")
+	s.RecordReachable("c")
+	s.RecordNoCex("p", 1)
+	st := s.Stats()
+	if st.Conflicts != 1 || st.Transitions != 1 || st.Reachable != 1 || st.CachedProofs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.RecordConflict("x")
+				s.ConflictCount("x")
+				s.RecordNoCex("p", j)
+				s.KnownNoCex("p", j)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.ConflictCount("x") != 800 {
+		t.Errorf("count = %d, want 800", s.ConflictCount("x"))
+	}
+}

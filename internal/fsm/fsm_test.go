@@ -1,0 +1,139 @@
+package fsm
+
+import (
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+)
+
+// buildWrapCounter builds q' = (q == wrapAt) ? 0 : q+1, init 0.
+func buildWrapCounter(w int, wrapAt uint64) (*netlist.Netlist, netlist.SignalID) {
+	nl := netlist.New("cnt")
+	q := nl.DffPlaceholder(w, bv.FromUint64(w, 0), "q")
+	wrap := nl.Binary(netlist.KEq, q, nl.ConstUint(w, wrapAt))
+	inc := nl.Binary(netlist.KAdd, q, nl.ConstUint(w, 1))
+	nl.ConnectDff(q, nl.Mux(wrap, inc, nl.ConstUint(w, 0)))
+	return nl, q
+}
+
+func TestExtractWrapCounter(t *testing.T) {
+	nl, q := buildWrapCounter(3, 5)
+	ms, err := Extract(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("extracted %d machines, want 1", len(ms))
+	}
+	m := ms[0]
+	if m.Q != q || m.Width != 3 {
+		t.Errorf("machine = %+v", m)
+	}
+	fix := m.Fixpoint()
+	want := []uint64{0, 1, 2, 3, 4, 5}
+	if len(fix) != len(want) {
+		t.Fatalf("fixpoint = %v, want %v", fix, want)
+	}
+	for i := range want {
+		if fix[i] != want[i] {
+			t.Fatalf("fixpoint = %v, want %v", fix, want)
+		}
+	}
+	if m.AllowedEver(6) || m.AllowedEver(7) {
+		t.Error("6 and 7 must be unreachable")
+	}
+	// Per-frame unrolling: within 2 steps only {0,1,2}.
+	if !m.AllowedAt(2, 2) || m.AllowedAt(2, 3) {
+		t.Errorf("reach-at-2 wrong: %v", m.ReachAt[2])
+	}
+	if !m.Restricts() {
+		t.Error("machine should restrict")
+	}
+}
+
+func TestSuccessorSets(t *testing.T) {
+	nl, _ := buildWrapCounter(3, 5)
+	ms, _ := Extract(nl, Options{})
+	m := ms[0]
+	// Succ is deterministic here: v -> v+1 for v<5, 5 -> 0.
+	for v := uint64(0); v < 5; v++ {
+		if len(m.Succ[v]) != 1 || m.Succ[v][0] != v+1 {
+			t.Errorf("succ(%d) = %v", v, m.Succ[v])
+		}
+	}
+	if len(m.Succ[5]) != 1 || m.Succ[5][0] != 0 {
+		t.Errorf("succ(5) = %v", m.Succ[5])
+	}
+}
+
+func TestInputDependentMachineStillSound(t *testing.T) {
+	// q' = en ? q+1 : q — successors depend on an input, so each state
+	// has two successors; the full range is reachable and the machine
+	// is dropped (no restriction).
+	nl := netlist.New("en")
+	en := nl.AddInput("en", 1)
+	q := nl.DffPlaceholder(3, bv.FromUint64(3, 0), "q")
+	inc := nl.Binary(netlist.KAdd, q, nl.ConstUint(3, 1))
+	nl.ConnectDff(q, nl.Mux(en, q, inc))
+	ms, err := Extract(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("free-running counter should not restrict; got %v", ms[0].Fixpoint())
+	}
+}
+
+func TestUnknownInitSkipped(t *testing.T) {
+	nl := netlist.New("noinit")
+	q := nl.DffPlaceholder(2, bv.NewX(2), "q")
+	nl.ConnectDff(q, q)
+	ms, err := Extract(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Error("uninitialized register has no anchored STG")
+	}
+}
+
+func TestWideRegisterSkipped(t *testing.T) {
+	nl := netlist.New("wide")
+	q := nl.DffPlaceholder(16, bv.FromUint64(16, 0), "q")
+	nl.ConnectDff(q, q)
+	ms, err := Extract(nl, Options{MaxWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Error("16-bit register exceeds MaxWidth")
+	}
+}
+
+func TestOneHotRotatorSTG(t *testing.T) {
+	// token' = rotate(token), init 00001: reachable = the 5 one-hot
+	// values only.
+	n := 5
+	nl := netlist.New("rot")
+	token := nl.DffPlaceholder(n, bv.FromUint64(n, 1), "token")
+	hi := nl.Slice(token, n-2, 0)
+	top := nl.Slice(token, n-1, n-1)
+	nl.ConnectDff(token, nl.Concat(hi, top))
+	ms, err := Extract(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("machines = %d", len(ms))
+	}
+	fix := ms[0].Fixpoint()
+	if len(fix) != 5 {
+		t.Fatalf("fixpoint = %v, want the 5 one-hot values", fix)
+	}
+	for _, v := range fix {
+		if v&(v-1) != 0 || v == 0 {
+			t.Errorf("non-one-hot reachable value %d", v)
+		}
+	}
+}

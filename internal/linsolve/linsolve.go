@@ -1,0 +1,349 @@
+// Package linsolve solves systems of linear bit-vector constraints in
+// the modular number system Z/2^n (paper §4.1). Linear constraints
+// arise from adders, subtractors and multipliers with one constant
+// input — most of the arithmetic units in industrial datapaths.
+//
+// Given A·x ≡ b (mod 2^n) the solver finds *all* solutions and returns
+// them in the closed form of the paper,
+//
+//	x = x0 + N·f
+//
+// where x0 is a particular solution, the columns of N generate the null
+// space (multiplying N's columns by A yields zero vectors), and f is a
+// column of free variables ranging over Z/2^n. The algorithm is
+// Gauss–Jordan elimination extended with the multiplicative-inverse
+// machinery of internal/modarith: pivots are chosen with minimal
+// 2-adic valuation, rows are normalized by the inverse of the pivot's
+// greatest odd factor, and column operations (tracked in a transform
+// matrix U) diagonalize the system so each congruence 2^v·y ≡ c is
+// solved by inverse-with-product (Theorems 1–2). Complexity O(k^3)
+// as stated in §4.1.
+package linsolve
+
+import (
+	"fmt"
+
+	"repro/internal/modarith"
+)
+
+// System accumulates linear equations over k variables modulo 2^n.
+// Equations may be stated at a narrower width w <= n: a congruence
+// mod 2^w is lifted to mod 2^n by scaling both sides by 2^(n-w), which
+// preserves exactly the mod-2^w solution set (high variable bits become
+// don't-cares).
+type System struct {
+	m    modarith.Mod
+	k    int        // number of variables
+	rows [][]uint64 // each row: k coefficients then rhs
+}
+
+// NewSystem returns an empty system over k variables modulo 2^n.
+func NewSystem(n, k int) *System {
+	if k < 0 {
+		panic("linsolve: negative variable count")
+	}
+	return &System{m: modarith.NewMod(n), k: k}
+}
+
+// Vars returns the number of variables.
+func (s *System) Vars() int { return s.k }
+
+// Mod returns the system modulus.
+func (s *System) Mod() modarith.Mod { return s.m }
+
+// AddEquation adds sum(coeffs[i]*x[i]) ≡ rhs (mod 2^width). width must
+// be between 1 and the system width; narrower equations are lifted.
+func (s *System) AddEquation(coeffs []uint64, rhs uint64, width int) error {
+	if len(coeffs) != s.k {
+		return fmt.Errorf("linsolve: %d coefficients for %d variables", len(coeffs), s.k)
+	}
+	n := s.m.Bits()
+	if width < 1 || width > n {
+		return fmt.Errorf("linsolve: equation width %d out of range (system width %d)", width, n)
+	}
+	scale := uint64(1) << uint(n-width)
+	row := make([]uint64, s.k+1)
+	for i, c := range coeffs {
+		row[i] = s.m.Mul(s.m.Reduce(c), scale)
+	}
+	row[s.k] = s.m.Mul(s.m.Reduce(rhs), scale)
+	s.rows = append(s.rows, row)
+	return nil
+}
+
+// SolutionSet is the closed form x = x0 + N·f over Z/2^n. The zero
+// value is an infeasible (empty) set.
+type SolutionSet struct {
+	Feasible  bool
+	N         int        // modulus exponent
+	X0        []uint64   // particular solution, length k
+	Gens      [][]uint64 // columns of the null matrix N
+	GenOrders []uint64   // order of each generator (number of distinct multiples)
+	countLog2 int        // log2 of the number of solutions (saturating)
+	numVars   int
+}
+
+// CountLog2 returns log2 of the exact number of solutions.
+func (ss SolutionSet) CountLog2() int {
+	if !ss.Feasible {
+		return -1
+	}
+	return ss.countLog2
+}
+
+// Count returns the number of solutions, saturating at 1<<62.
+func (ss SolutionSet) Count() uint64 {
+	if !ss.Feasible {
+		return 0
+	}
+	if ss.countLog2 >= 62 {
+		return 1 << 62
+	}
+	return 1 << uint(ss.countLog2)
+}
+
+// At evaluates x = x0 + N·f for a given free-variable assignment.
+// len(f) must equal len(ss.Gens).
+func (ss SolutionSet) At(f []uint64) []uint64 {
+	if len(f) != len(ss.Gens) {
+		panic("linsolve: free variable count mismatch")
+	}
+	m := modarith.NewMod(ss.N)
+	x := make([]uint64, ss.numVars)
+	copy(x, ss.X0)
+	for g, fg := range f {
+		for i := range x {
+			x[i] = m.Add(x[i], m.Mul(ss.Gens[g][i], fg))
+		}
+	}
+	return x
+}
+
+// Enumerate calls fn for every solution until fn returns false or the
+// set is exhausted. It panics if the solution count exceeds 2^20; check
+// Count first for big sets.
+func (ss SolutionSet) Enumerate(fn func(x []uint64) bool) {
+	if !ss.Feasible {
+		return
+	}
+	if ss.countLog2 > 20 {
+		panic("linsolve: refusing to enumerate more than 2^20 solutions")
+	}
+	f := make([]uint64, len(ss.Gens))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(f) {
+			return fn(ss.At(f))
+		}
+		ord := ss.GenOrders[i]
+		for t := uint64(0); t < ord; t++ {
+			f[i] = t
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Solve reduces the system and returns its solution set.
+func (s *System) Solve() SolutionSet {
+	n := s.m.Bits()
+	k := s.k
+	m := s.m
+	nrows := len(s.rows)
+
+	// Working copies: A (nrows x k), b (nrows), U (k x k) accumulating
+	// column operations so that x = U·y.
+	a := make([][]uint64, nrows)
+	b := make([]uint64, nrows)
+	for i, r := range s.rows {
+		a[i] = append([]uint64(nil), r[:k]...)
+		b[i] = r[k]
+	}
+	u := make([][]uint64, k)
+	for i := range u {
+		u[i] = make([]uint64, k)
+		u[i][i] = 1
+	}
+
+	colSwap := func(c1, c2 int) {
+		for i := range a {
+			a[i][c1], a[i][c2] = a[i][c2], a[i][c1]
+		}
+		for i := 0; i < k; i++ {
+			u[i][c1], u[i][c2] = u[i][c2], u[i][c1]
+		}
+	}
+	// colAddMul: col_dst -= q * col_src (on A and U).
+	colAddMul := func(dst, src int, q uint64) {
+		for i := range a {
+			a[i][dst] = m.Sub(a[i][dst], m.Mul(q, a[i][src]))
+		}
+		for i := 0; i < k; i++ {
+			u[i][dst] = m.Sub(u[i][dst], m.Mul(q, u[i][src]))
+		}
+	}
+
+	rank := 0
+	pivotVals := []int{} // 2-adic valuation of each pivot
+	for rank < nrows && rank < k {
+		// Find the entry with minimal 2-adic valuation in the remaining
+		// submatrix a[rank..][rank..].
+		bestI, bestJ, bestV := -1, -1, n+1
+		for i := rank; i < nrows; i++ {
+			for j := rank; j < k; j++ {
+				if a[i][j] == 0 {
+					continue
+				}
+				if v := m.Val2(a[i][j]); v < bestV {
+					bestI, bestJ, bestV = i, j, v
+					if v == 0 {
+						break
+					}
+				}
+			}
+			if bestV == 0 {
+				break
+			}
+		}
+		if bestI < 0 {
+			break // remaining submatrix is zero
+		}
+		a[rank], a[bestI] = a[bestI], a[rank]
+		b[rank], b[bestI] = b[bestI], b[rank]
+		if bestJ != rank {
+			colSwap(rank, bestJ)
+		}
+		// Normalize the pivot row so the pivot becomes exactly 2^v.
+		odd, v := m.OddPart(a[rank][rank])
+		inv, _ := m.Inverse(odd)
+		for j := rank; j < k; j++ {
+			a[rank][j] = m.Mul(a[rank][j], inv)
+		}
+		b[rank] = m.Mul(b[rank], inv)
+		piv := a[rank][rank] // == 2^v
+		// Eliminate below: every remaining entry has valuation >= v.
+		for i := rank + 1; i < nrows; i++ {
+			if a[i][rank] == 0 {
+				continue
+			}
+			q := a[i][rank] >> uint(v)
+			for j := rank; j < k; j++ {
+				a[i][j] = m.Sub(a[i][j], m.Mul(q, a[rank][j]))
+			}
+			b[i] = m.Sub(b[i], m.Mul(q, b[rank]))
+		}
+		// Eliminate to the right (column ops) so the pivot row becomes
+		// (0.. 2^v ..0): entries right of the pivot also have val >= v.
+		for j := rank + 1; j < k; j++ {
+			if a[rank][j] == 0 {
+				continue
+			}
+			q := a[rank][j] >> uint(v)
+			colAddMul(j, rank, q)
+		}
+		_ = piv
+		pivotVals = append(pivotVals, v)
+		rank++
+	}
+
+	// Rows beyond the rank must have zero rhs.
+	for i := rank; i < nrows; i++ {
+		if b[i] != 0 {
+			return SolutionSet{}
+		}
+	}
+
+	// Solve the diagonal system D·y = b: 2^v_i · y_i ≡ b_i.
+	y0 := make([]uint64, k)
+	type torsion struct {
+		col  int
+		step uint64 // 2^(n-v)
+		ord  uint64 // 2^v
+	}
+	var tors []torsion
+	countLog2 := 0
+	for i := 0; i < rank; i++ {
+		v := pivotVals[i]
+		sol := m.InverseWithProduct(uint64(1)<<uint(v), b[i])
+		if sol.Empty() {
+			return SolutionSet{}
+		}
+		y0[i] = sol.Base()
+		if v > 0 {
+			tors = append(tors, torsion{col: i, step: sol.Step(), ord: sol.Count()})
+			countLog2 += v
+		}
+	}
+	// Free columns: y_j ranges over all of Z/2^n.
+	freeCols := make([]int, 0, k-rank)
+	for j := rank; j < k; j++ {
+		freeCols = append(freeCols, j)
+		countLog2 += n
+	}
+
+	// Map back: x = U·y.
+	mulU := func(y []uint64) []uint64 {
+		x := make([]uint64, k)
+		for i := 0; i < k; i++ {
+			var acc uint64
+			for j := 0; j < k; j++ {
+				acc = m.Add(acc, m.Mul(u[i][j], y[j]))
+			}
+			x[i] = acc
+		}
+		return x
+	}
+	ss := SolutionSet{Feasible: true, N: n, numVars: k, countLog2: countLog2}
+	ss.X0 = mulU(y0)
+	unit := func(col int, scale uint64) []uint64 {
+		y := make([]uint64, k)
+		y[col] = scale
+		return mulU(y)
+	}
+	for _, t := range tors {
+		ss.Gens = append(ss.Gens, unit(t.col, t.step))
+		ss.GenOrders = append(ss.GenOrders, t.ord)
+	}
+	for _, j := range freeCols {
+		ss.Gens = append(ss.Gens, unit(j, 1))
+		var ord uint64
+		if n >= 62 {
+			ord = 1 << 62
+		} else {
+			ord = 1 << uint(n)
+		}
+		ss.GenOrders = append(ss.GenOrders, ord)
+	}
+	return ss
+}
+
+// Residual returns A·x - b (mod 2^n) for a candidate x; all-zero means
+// x satisfies every equation. Narrow equations were lifted at
+// AddEquation time, so the check is uniform.
+func (s *System) Residual(x []uint64) []uint64 {
+	if len(x) != s.k {
+		panic("linsolve: Residual arity mismatch")
+	}
+	out := make([]uint64, len(s.rows))
+	for i, r := range s.rows {
+		var acc uint64
+		for j := 0; j < s.k; j++ {
+			acc = s.m.Add(acc, s.m.Mul(r[j], x[j]))
+		}
+		out[i] = s.m.Sub(acc, r[s.k])
+	}
+	return out
+}
+
+// Satisfies reports whether x solves every equation.
+func (s *System) Satisfies(x []uint64) bool {
+	for _, r := range s.Residual(x) {
+		if r != 0 {
+			return false
+		}
+	}
+	return true
+}

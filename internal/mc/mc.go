@@ -1,0 +1,403 @@
+// Package mc is a BDD-based symbolic model checker (McMillan, paper
+// refs. [9]–[11]): forward reachability over a monolithic transition
+// relation. It exists as the baseline whose memory growth §1/§5
+// contrast with the ATPG approach — the node count is the measured
+// analogue of BDD memory, and exceeding the node budget returns
+// Unknown (the "memory explosion" outcome).
+package mc
+
+import (
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/property"
+)
+
+// Verdict is a model-checking outcome.
+type Verdict uint8
+
+// Outcomes.
+const (
+	Proved    Verdict = iota // fixpoint reached, no bad state reachable
+	Falsified                // a reachable state violates the monitor
+	Unknown                  // node budget or iteration limit exceeded
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Proved:
+		return "proved"
+	case Falsified:
+		return "falsified"
+	default:
+		return "unknown"
+	}
+}
+
+// Options bounds the run.
+type Options struct {
+	MaxNodes int // BDD node budget (0 = 4M)
+	MaxIters int // reachability iterations (0 = 10000)
+}
+
+// Result reports the outcome with the memory proxy.
+type Result struct {
+	Verdict Verdict
+	// Iters is the number of image computations performed; for
+	// Falsified it is the depth at which a bad state appeared.
+	Iters int
+	// PeakNodes is the BDD node count — the memory measure.
+	PeakNodes int
+	// States is the number of reachable states at the end (satcount).
+	States  float64
+	Elapsed time.Duration
+}
+
+// Check runs forward reachability for an invariant property. Witness
+// properties are handled by checking reachability of monitor = 1.
+func Check(nl *netlist.Netlist, p property.Property, opts Options) (res Result) {
+	start := time.Now()
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 4 << 20
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 10000
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bdd.ErrNodeLimit {
+				res.Verdict = Unknown
+				res.PeakNodes = opts.MaxNodes
+				res.Elapsed = time.Since(start)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Variable layout: state bit i -> current level 2i, next level
+	// 2i+1; primary input bits after all state variables.
+	nState := 0
+	ffBase := map[netlist.GateID]int{}
+	for _, ff := range nl.FFs {
+		ffBase[ff] = nState
+		nState += nl.Width(nl.Gates[ff].Out)
+	}
+	nIn := 0
+	inBase := map[netlist.SignalID]int{}
+	for _, pi := range nl.PIs {
+		inBase[pi] = 2*nState + nIn
+		nIn += nl.Width(pi)
+	}
+	m := bdd.New(2*nState + nIn)
+	m.MaxNodes = opts.MaxNodes
+
+	curVar := func(stateBit int) int { return 2 * stateBit }
+	nextVar := func(stateBit int) int { return 2*stateBit + 1 }
+
+	// Build per-bit functions of every signal over current-state and
+	// input variables.
+	funcs := map[netlist.SignalID][]bdd.Ref{}
+	for _, ff := range nl.FFs {
+		out := nl.Gates[ff].Out
+		base := ffBase[ff]
+		w := nl.Width(out)
+		bits := make([]bdd.Ref, w)
+		for i := 0; i < w; i++ {
+			bits[i] = m.Var(curVar(base + i))
+		}
+		funcs[out] = bits
+	}
+	for _, pi := range nl.PIs {
+		w := nl.Width(pi)
+		bits := make([]bdd.Ref, w)
+		for i := 0; i < w; i++ {
+			bits[i] = m.Var(inBase[pi] + i)
+		}
+		funcs[pi] = bits
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		res.Verdict = Unknown
+		res.Elapsed = time.Since(start)
+		return
+	}
+	for _, gid := range order {
+		g := &nl.Gates[gid]
+		funcs[g.Out] = buildGate(m, nl, g, funcs)
+	}
+
+	// Transition relation T = ∧ (next_i ↔ f_d[i]).
+	t := bdd.True
+	for _, ff := range nl.FFs {
+		g := &nl.Gates[ff]
+		base := ffBase[ff]
+		d := funcs[g.In[0]]
+		for i := range d {
+			t = m.And(t, m.Xnor(m.Var(nextVar(base+i)), d[i]))
+		}
+	}
+	// Initial states.
+	initR := bdd.True
+	for _, ff := range nl.FFs {
+		g := &nl.Gates[ff]
+		base := ffBase[ff]
+		for i := 0; i < g.Init.Width(); i++ {
+			switch g.Init.Bit(i) {
+			case bv.One:
+				initR = m.And(initR, m.Var(curVar(base+i)))
+			case bv.Zero:
+				initR = m.And(initR, m.NVar(curVar(base+i)))
+			}
+		}
+	}
+	assume := bdd.True
+	for _, a := range p.Assumes {
+		assume = m.And(assume, funcs[a][0])
+	}
+	mon := funcs[p.Monitor][0]
+	bad := m.Not(mon)
+	if p.Kind == property.Witness {
+		bad = mon
+	}
+	isCurOrInput := func(v int) bool {
+		return (v < 2*nState && v%2 == 0) || v >= 2*nState
+	}
+
+	reached := initR
+	for iter := 0; iter <= opts.MaxIters; iter++ {
+		if m.And(m.And(reached, assume), bad) != bdd.False {
+			res.Verdict = Falsified
+			res.Iters = iter
+			res.PeakNodes = m.NumNodes()
+			res.States = countStates(m, reached, nState, nIn)
+			res.Elapsed = time.Since(start)
+			return
+		}
+		img := m.Exists(m.And(m.And(t, reached), assume), isCurOrInput)
+		img = m.Rename(img, func(v int) int { return v - 1 }) // next -> current
+		newR := m.Or(reached, img)
+		if newR == reached {
+			res.Verdict = Proved
+			res.Iters = iter
+			res.PeakNodes = m.NumNodes()
+			res.States = countStates(m, reached, nState, nIn)
+			res.Elapsed = time.Since(start)
+			return
+		}
+		reached = newR
+	}
+	res.Verdict = Unknown
+	res.Iters = opts.MaxIters
+	res.PeakNodes = m.NumNodes()
+	res.Elapsed = time.Since(start)
+	return
+}
+
+// countStates projects r onto the current-state variables and counts
+// the states: input and next-state variables are quantified away and
+// their don't-care factor divided out of the satcount.
+func countStates(m *bdd.Manager, r bdd.Ref, nState, nIn int) float64 {
+	p := m.Exists(r, func(v int) bool {
+		return v >= 2*nState || v%2 == 1
+	})
+	return m.SatCount(p) / pow2(nState+nIn)
+}
+
+func pow2(n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// buildGate constructs the per-bit BDDs of a combinational gate.
+func buildGate(m *bdd.Manager, nl *netlist.Netlist, g *netlist.Gate, funcs map[netlist.SignalID][]bdd.Ref) []bdd.Ref {
+	w := nl.Width(g.Out)
+	in := make([][]bdd.Ref, len(g.In))
+	for i, s := range g.In {
+		in[i] = funcs[s]
+	}
+	out := make([]bdd.Ref, w)
+	switch g.Kind {
+	case netlist.KConst:
+		for i := 0; i < w; i++ {
+			out[i] = bdd.False
+			if g.Const.Bit(i) == bv.One {
+				out[i] = bdd.True
+			}
+			// x constant bits default to 0 in the BDD model (the
+			// baseline has no third value).
+		}
+	case netlist.KDff:
+		return funcs[g.Out] // state variables, set up by the caller
+	case netlist.KBuf:
+		copy(out, in[0])
+	case netlist.KNot:
+		for i := range out {
+			out[i] = m.Not(in[0][i])
+		}
+	case netlist.KAnd:
+		for i := range out {
+			out[i] = m.And(in[0][i], in[1][i])
+		}
+	case netlist.KOr:
+		for i := range out {
+			out[i] = m.Or(in[0][i], in[1][i])
+		}
+	case netlist.KXor:
+		for i := range out {
+			out[i] = m.Xor(in[0][i], in[1][i])
+		}
+	case netlist.KNand:
+		for i := range out {
+			out[i] = m.Not(m.And(in[0][i], in[1][i]))
+		}
+	case netlist.KNor:
+		for i := range out {
+			out[i] = m.Not(m.Or(in[0][i], in[1][i]))
+		}
+	case netlist.KXnor:
+		for i := range out {
+			out[i] = m.Xnor(in[0][i], in[1][i])
+		}
+	case netlist.KRedAnd:
+		acc := bdd.True
+		for _, b := range in[0] {
+			acc = m.And(acc, b)
+		}
+		out[0] = acc
+	case netlist.KRedOr:
+		acc := bdd.False
+		for _, b := range in[0] {
+			acc = m.Or(acc, b)
+		}
+		out[0] = acc
+	case netlist.KRedXor:
+		acc := bdd.False
+		for _, b := range in[0] {
+			acc = m.Xor(acc, b)
+		}
+		out[0] = acc
+	case netlist.KAdd:
+		carry := bdd.False
+		for i := range out {
+			out[i] = m.Xor(m.Xor(in[0][i], in[1][i]), carry)
+			carry = m.Or(m.And(in[0][i], in[1][i]), m.And(carry, m.Or(in[0][i], in[1][i])))
+		}
+	case netlist.KSub:
+		carry := bdd.True
+		for i := range out {
+			nb := m.Not(in[1][i])
+			out[i] = m.Xor(m.Xor(in[0][i], nb), carry)
+			carry = m.Or(m.And(in[0][i], nb), m.And(carry, m.Or(in[0][i], nb)))
+		}
+	case netlist.KMul:
+		acc := make([]bdd.Ref, w)
+		for i := range acc {
+			acc[i] = bdd.False
+		}
+		for i := 0; i < w; i++ {
+			row := make([]bdd.Ref, w)
+			for j := range row {
+				if j < i {
+					row[j] = bdd.False
+				} else {
+					row[j] = m.And(in[1][j-i], in[0][i])
+				}
+			}
+			carry := bdd.False
+			for j := range acc {
+				s := m.Xor(m.Xor(acc[j], row[j]), carry)
+				carry = m.Or(m.And(acc[j], row[j]), m.And(carry, m.Or(acc[j], row[j])))
+				acc[j] = s
+			}
+		}
+		copy(out, acc)
+	case netlist.KShl, netlist.KShr:
+		cur := append([]bdd.Ref(nil), in[0]...)
+		for level := 0; level < len(in[1]); level++ {
+			shift := 1 << uint(level)
+			next := make([]bdd.Ref, w)
+			for i := 0; i < w; i++ {
+				var shifted bdd.Ref = bdd.False
+				if g.Kind == netlist.KShl {
+					if i-shift >= 0 {
+						shifted = cur[i-shift]
+					}
+				} else if i+shift < w {
+					shifted = cur[i+shift]
+				}
+				next[i] = m.Ite(in[1][level], shifted, cur[i])
+			}
+			cur = next
+		}
+		copy(out, cur)
+	case netlist.KEq, netlist.KNe:
+		acc := bdd.True
+		for i := range in[0] {
+			acc = m.And(acc, m.Xnor(in[0][i], in[1][i]))
+		}
+		if g.Kind == netlist.KNe {
+			acc = m.Not(acc)
+		}
+		out[0] = acc
+	case netlist.KLt, netlist.KGt, netlist.KLe, netlist.KGe:
+		a, b := in[0], in[1]
+		if g.Kind == netlist.KGt || g.Kind == netlist.KLe {
+			a, b = b, a
+		}
+		lt := bdd.False
+		for i := 0; i < len(a); i++ {
+			lt = m.Or(m.And(m.Not(a[i]), b[i]), m.And(m.Xnor(a[i], b[i]), lt))
+		}
+		if g.Kind == netlist.KLe || g.Kind == netlist.KGe {
+			lt = m.Not(lt)
+		}
+		out[0] = lt
+	case netlist.KMux:
+		sel := in[0]
+		data := in[1:]
+		for i := 0; i < w; i++ {
+			acc := bdd.False
+			for k, d := range data {
+				cond := bdd.True
+				for j := range sel {
+					if k>>uint(j)&1 == 1 {
+						cond = m.And(cond, sel[j])
+					} else {
+						cond = m.And(cond, m.Not(sel[j]))
+					}
+				}
+				acc = m.Or(acc, m.And(cond, d[i]))
+			}
+			out[i] = acc
+		}
+	case netlist.KConcat:
+		pos := w
+		for _, bits := range in {
+			copy(out[pos-len(bits):pos], bits)
+			pos -= len(bits)
+		}
+	case netlist.KSlice:
+		for i := g.Lo; i <= g.Hi; i++ {
+			out[i-g.Lo] = in[0][i]
+		}
+	case netlist.KZext:
+		for i := 0; i < w; i++ {
+			if i < len(in[0]) {
+				out[i] = in[0][i]
+			} else {
+				out[i] = bdd.False
+			}
+		}
+	default:
+		for i := range out {
+			out[i] = bdd.False
+		}
+	}
+	return out
+}

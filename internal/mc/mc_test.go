@@ -1,0 +1,118 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/property"
+)
+
+func buildCounterMax(wrapAt uint64) (*netlist.Netlist, netlist.SignalID) {
+	nl := netlist.New("cnt")
+	q := nl.DffPlaceholder(3, bv.FromUint64(3, 0), "q")
+	wrap := nl.Binary(netlist.KEq, q, nl.ConstUint(3, wrapAt))
+	inc := nl.Binary(netlist.KAdd, q, nl.ConstUint(3, 1))
+	next := nl.Mux(wrap, inc, nl.ConstUint(3, 0))
+	nl.ConnectDff(q, next)
+	return nl, q
+}
+
+func TestReachabilityProves(t *testing.T) {
+	nl, q := buildCounterMax(5)
+	b := property.Builder{NL: nl}
+	p, _ := property.NewInvariant(nl, "range", b.InRange(q, 0, 5))
+	res := Check(nl, p, Options{})
+	if res.Verdict != Proved {
+		t.Fatalf("verdict = %v, want proved", res.Verdict)
+	}
+	// Exactly 6 reachable states: 0..5.
+	if res.States != 6 {
+		t.Errorf("states = %v, want 6", res.States)
+	}
+	if res.PeakNodes == 0 {
+		t.Error("no nodes counted")
+	}
+}
+
+func TestReachabilityFalsifies(t *testing.T) {
+	nl, q := buildCounterMax(6)
+	b := property.Builder{NL: nl}
+	p, _ := property.NewInvariant(nl, "range", b.InRange(q, 0, 5))
+	res := Check(nl, p, Options{})
+	if res.Verdict != Falsified {
+		t.Fatalf("verdict = %v, want falsified", res.Verdict)
+	}
+	if res.Iters != 6 {
+		t.Errorf("depth = %d, want 6", res.Iters)
+	}
+}
+
+func TestWitnessReachability(t *testing.T) {
+	nl, q := buildCounterMax(5)
+	b := property.Builder{NL: nl}
+	p, _ := property.NewWitness(nl, "reach3", b.Reaches(q, 3))
+	res := Check(nl, p, Options{})
+	if res.Verdict != Falsified { // "reached" for witnesses
+		t.Fatalf("verdict = %v, want reached", res.Verdict)
+	}
+	if res.Iters != 3 {
+		t.Errorf("reached at %d, want 3", res.Iters)
+	}
+}
+
+func TestInputsDriveTransitions(t *testing.T) {
+	// q' = en ? q+1 : q, init 0; with a free input the counter can stay
+	// or advance: reachable = all 8 states eventually; q==7 reachable.
+	nl := netlist.New("en-cnt")
+	en := nl.AddInput("en", 1)
+	q := nl.DffPlaceholder(3, bv.FromUint64(3, 0), "q")
+	inc := nl.Binary(netlist.KAdd, q, nl.ConstUint(3, 1))
+	next := nl.Mux(en, q, inc)
+	nl.ConnectDff(q, next)
+	b := property.Builder{NL: nl}
+	p, _ := property.NewWitness(nl, "reach7", b.Reaches(q, 7))
+	res := Check(nl, p, Options{})
+	if res.Verdict != Falsified {
+		t.Fatalf("verdict = %v, want reached", res.Verdict)
+	}
+	if res.Iters != 7 {
+		t.Errorf("reached at %d, want 7", res.Iters)
+	}
+}
+
+func TestAssumptionsRestrict(t *testing.T) {
+	// With en assumed 0 the counter never moves: q==1 unreachable.
+	nl := netlist.New("held")
+	en := nl.AddInput("en", 1)
+	q := nl.DffPlaceholder(3, bv.FromUint64(3, 0), "q")
+	inc := nl.Binary(netlist.KAdd, q, nl.ConstUint(3, 1))
+	next := nl.Mux(en, q, inc)
+	nl.ConnectDff(q, next)
+	enOff := nl.Unary(netlist.KNot, en)
+	b := property.Builder{NL: nl}
+	p, _ := property.NewInvariant(nl, "stuck", b.Reaches(q, 0))
+	p = p.WithAssume(enOff)
+	res := Check(nl, p, Options{})
+	if res.Verdict != Proved {
+		t.Fatalf("verdict = %v, want proved (q stays 0)", res.Verdict)
+	}
+	if res.States != 1 {
+		t.Errorf("states = %v, want 1", res.States)
+	}
+}
+
+func TestNodeBudgetGivesUnknown(t *testing.T) {
+	// A multiplier-fed register with a tiny node budget must blow up.
+	nl := netlist.New("blow")
+	a := nl.AddInput("a", 8)
+	bIn := nl.AddInput("b", 8)
+	prod := nl.Binary(netlist.KMul, a, bIn)
+	q := nl.Dff(prod, bv.FromUint64(8, 0), "q")
+	pb := property.Builder{NL: nl}
+	p, _ := property.NewInvariant(nl, "never255", pb.NeverValue(q, 255))
+	res := Check(nl, p, Options{MaxNodes: 300})
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown (node blow-up)", res.Verdict)
+	}
+}

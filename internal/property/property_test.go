@@ -1,0 +1,170 @@
+package property
+
+import (
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// evalMonitor builds a simulator and returns the monitor value for the
+// given input assignment.
+func evalMonitor(t *testing.T, nl *netlist.Netlist, mon netlist.SignalID, in map[string]bv.BV) uint64 {
+	t.Helper()
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range in {
+		if err := s.SetInputName(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Eval()
+	v, ok := s.Get(mon).Uint64()
+	if !ok {
+		t.Fatalf("monitor not fully known")
+	}
+	return v
+}
+
+func TestAtMostOneBus(t *testing.T) {
+	nl := netlist.New("t")
+	bus := nl.AddInput("bus", 8)
+	b := Builder{NL: nl}
+	mon := b.AtMostOneBus(bus)
+	cases := map[uint64]uint64{0: 1, 1: 1, 0x80: 1, 0x81: 0, 0xff: 0, 4: 1, 6: 0}
+	for in, want := range cases {
+		if got := evalMonitor(t, nl, mon, map[string]bv.BV{"bus": bv.FromUint64(8, in)}); got != want {
+			t.Errorf("AtMostOneBus(%#x) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestExactlyOneBus(t *testing.T) {
+	nl := netlist.New("t")
+	bus := nl.AddInput("bus", 4)
+	b := Builder{NL: nl}
+	mon := b.ExactlyOneBus(bus)
+	cases := map[uint64]uint64{0: 0, 1: 1, 2: 1, 3: 0, 8: 1, 9: 0}
+	for in, want := range cases {
+		if got := evalMonitor(t, nl, mon, map[string]bv.BV{"bus": bv.FromUint64(4, in)}); got != want {
+			t.Errorf("ExactlyOneBus(%04b) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAtMostOneSignals(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.AddInput("a", 1)
+	b2 := nl.AddInput("b", 1)
+	c := nl.AddInput("c", 1)
+	b := Builder{NL: nl}
+	mon := b.AtMostOne(a, b2, c)
+	cases := []struct{ a, bb, c, want uint64 }{
+		{0, 0, 0, 1}, {1, 0, 0, 1}, {0, 1, 1, 0}, {1, 1, 1, 0},
+	}
+	for _, cs := range cases {
+		got := evalMonitor(t, nl, mon, map[string]bv.BV{
+			"a": bv.FromUint64(1, cs.a), "b": bv.FromUint64(1, cs.bb), "c": bv.FromUint64(1, cs.c),
+		})
+		if got != cs.want {
+			t.Errorf("AtMostOne(%d,%d,%d) = %d, want %d", cs.a, cs.bb, cs.c, got, cs.want)
+		}
+	}
+	// Degenerate: no signals is vacuously true.
+	if evalMonitor(t, nl, b.AtMostOne(), nil) != 1 {
+		t.Error("empty AtMostOne should be constant 1")
+	}
+}
+
+func TestNoBusContention(t *testing.T) {
+	nl := netlist.New("t")
+	e0 := nl.AddInput("e0", 1)
+	e1 := nl.AddInput("e1", 1)
+	d0 := nl.AddInput("d0", 8)
+	d1 := nl.AddInput("d1", 8)
+	b := Builder{NL: nl}
+	mon := b.NoBusContention([]netlist.SignalID{e0, e1}, []netlist.SignalID{d0, d1})
+	eval := func(en0, en1, da0, da1 uint64) uint64 {
+		return evalMonitor(t, nl, mon, map[string]bv.BV{
+			"e0": bv.FromUint64(1, en0), "e1": bv.FromUint64(1, en1),
+			"d0": bv.FromUint64(8, da0), "d1": bv.FromUint64(8, da1),
+		})
+	}
+	if eval(1, 1, 5, 9) != 0 {
+		t.Error("contention with differing data must fail")
+	}
+	if eval(1, 1, 7, 7) != 1 {
+		t.Error("consensus data is allowed")
+	}
+	if eval(1, 0, 5, 9) != 1 || eval(0, 0, 5, 9) != 1 {
+		t.Error("single/no driver is fine")
+	}
+}
+
+func TestRangeAndValueMonitors(t *testing.T) {
+	nl := netlist.New("t")
+	bus := nl.AddInput("bus", 4)
+	b := Builder{NL: nl}
+	never13 := b.NeverValue(bus, 13)
+	reach2 := b.Reaches(bus, 2)
+	in1to12 := b.InRange(bus, 1, 12)
+	for _, v := range []uint64{0, 1, 2, 12, 13, 15} {
+		in := map[string]bv.BV{"bus": bv.FromUint64(4, v)}
+		if got := evalMonitor(t, nl, never13, in); (got == 1) != (v != 13) {
+			t.Errorf("NeverValue(13) at %d = %d", v, got)
+		}
+		if got := evalMonitor(t, nl, reach2, in); (got == 1) != (v == 2) {
+			t.Errorf("Reaches(2) at %d = %d", v, got)
+		}
+		if got := evalMonitor(t, nl, in1to12, in); (got == 1) != (v >= 1 && v <= 12) {
+			t.Errorf("InRange(1,12) at %d = %d", v, got)
+		}
+	}
+}
+
+func TestPropertyConstructors(t *testing.T) {
+	nl := netlist.New("t")
+	one := nl.AddInput("one", 1)
+	wide := nl.AddInput("wide", 4)
+	if _, err := NewInvariant(nl, "ok", one); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewInvariant(nl, "bad", wide); err == nil {
+		t.Error("wide monitor accepted")
+	}
+	if _, err := NewWitness(nl, "bad", wide); err == nil {
+		t.Error("wide witness accepted")
+	}
+	p, _ := NewInvariant(nl, "a", one)
+	p2 := p.WithAssume(one)
+	if len(p.Assumes) != 0 || len(p2.Assumes) != 1 {
+		t.Error("WithAssume should not mutate the receiver")
+	}
+	if Invariant.String() != "invariant" || Witness.String() != "witness" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestImpliesEquals(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.AddInput("a", 1)
+	bus := nl.AddInput("bus", 4)
+	b := Builder{NL: nl}
+	eq5 := b.Equals(bus, 5)
+	mon := b.Implies(a, eq5)
+	got := evalMonitor(t, nl, mon, map[string]bv.BV{"a": bv.FromUint64(1, 1), "bus": bv.FromUint64(4, 5)})
+	if got != 1 {
+		t.Error("1 -> (5==5) should hold")
+	}
+	got = evalMonitor(t, nl, mon, map[string]bv.BV{"a": bv.FromUint64(1, 1), "bus": bv.FromUint64(4, 4)})
+	if got != 0 {
+		t.Error("1 -> (4==5) should fail")
+	}
+	got = evalMonitor(t, nl, mon, map[string]bv.BV{"a": bv.FromUint64(1, 0), "bus": bv.FromUint64(4, 4)})
+	if got != 1 {
+		t.Error("0 -> anything should hold")
+	}
+}

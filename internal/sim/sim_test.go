@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+)
+
+// buildCounter builds a w-bit counter with enable: q' = en ? q+1 : q.
+func buildCounter(w int) (*netlist.Netlist, netlist.SignalID, netlist.SignalID) {
+	n := netlist.New("counter")
+	en := n.AddInput("en", 1)
+	q := n.DffPlaceholder(w, bv.FromUint64(w, 0), "q")
+	one := n.ConstUint(w, 1)
+	inc := n.Binary(netlist.KAdd, q, one)
+	next := n.Mux(en, q, inc)
+	n.ConnectDff(q, next)
+	n.MarkOutput("q", q)
+	return n, en, q
+}
+
+func TestCounter(t *testing.T) {
+	n, en, q := buildCounter(4)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get(q).Uint64(); v != 0 {
+		t.Fatalf("initial q = %d", v)
+	}
+	for i := 0; i < 20; i++ {
+		s.SetInput(en, bv.FromUint64(1, 1))
+		s.Step()
+	}
+	if v, _ := s.Get(q).Uint64(); v != 4 { // 20 mod 16
+		t.Errorf("q after 20 increments = %d, want 4", v)
+	}
+	// Disable: q holds.
+	s.SetInput(en, bv.FromUint64(1, 0))
+	s.Step()
+	if v, _ := s.Get(q).Uint64(); v != 4 {
+		t.Errorf("q after hold = %d, want 4", v)
+	}
+}
+
+func TestXPropagation(t *testing.T) {
+	n, en, q := buildCounter(4)
+	s, _ := New(n)
+	_ = en // leave en unset (all-x): next state is union(q, q+1)
+	s.Step()
+	got := s.Get(q)
+	// union(0000, 0001) = 000x
+	if got.String() != "4'b000x" {
+		t.Errorf("q after x-enable step = %v, want 4'b000x", got)
+	}
+}
+
+func TestReplayTrace(t *testing.T) {
+	n, en, q := buildCounter(4)
+	s, _ := New(n)
+	tr := &Trace{Inputs: []map[netlist.SignalID]bv.BV{
+		{en: bv.FromUint64(1, 1)},
+		{en: bv.FromUint64(1, 0)},
+		{en: bv.FromUint64(1, 1)},
+	}}
+	var vals []uint64
+	s.Replay(tr, func(cycle int) bool {
+		v, _ := s.Get(q).Uint64()
+		vals = append(vals, v)
+		return true
+	})
+	want := []uint64{0, 1, 1}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("cycle %d: q = %d, want %d", i, vals[i], want[i])
+		}
+	}
+	if v, _ := s.Get(q).Uint64(); v != 2 {
+		t.Errorf("final q = %d, want 2", v)
+	}
+	if out := tr.Format(n); out == "" {
+		t.Error("empty trace format")
+	}
+}
+
+func TestSetInputErrors(t *testing.T) {
+	n, _, q := buildCounter(4)
+	s, _ := New(n)
+	if err := s.SetInput(q, bv.FromUint64(4, 0)); err == nil {
+		t.Error("setting a non-input should fail")
+	}
+	if err := s.SetInputName("en", bv.FromUint64(2, 0)); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	if err := s.SetInputName("nope", bv.FromUint64(1, 0)); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if err := s.SetInputName("en", bv.FromUint64(1, 0)); err != nil {
+		t.Error(err)
+	}
+	if _, err := s.GetName("q"); err != nil {
+		t.Error(err)
+	}
+	if _, err := s.GetName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestUninitializedRegister(t *testing.T) {
+	n := netlist.New("uninit")
+	d := n.AddInput("d", 2)
+	q := n.Dff(d, bv.NewX(2), "q")
+	n.MarkOutput("q", q)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(q).IsAllX() {
+		t.Error("uninitialized register should start all-x")
+	}
+	s.SetInput(d, bv.FromUint64(2, 3))
+	s.Step()
+	if v, _ := s.Get(q).Uint64(); v != 3 {
+		t.Errorf("q = %d", v)
+	}
+	s.Reset()
+	if !s.Get(q).IsAllX() {
+		t.Error("Reset should restore init value")
+	}
+}

@@ -1,0 +1,83 @@
+package verilog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanics mutates valid sources (truncation, byte
+// flips, token deletion) and requires Parse to return errors, never
+// panic.
+func TestParseNeverPanics(t *testing.T) {
+	bases := []string{
+		counterSrc,
+		`
+module m(a, b, y);
+  input [7:0] a, b; output [7:0] y;
+  wire [7:0] t;
+  assign t = a * b + {a[3:0], b[7:4]};
+  assign y = (a > b) ? t : ~t;
+endmodule
+`,
+		`
+module n(clk, d, q);
+  input clk; input [3:0] d; output reg [3:0] q;
+  always @(posedge clk) begin
+    case (d[1:0])
+      2'b00: q <= d;
+      default: q <= ~d;
+    endcase
+  end
+endmodule
+`,
+	}
+	r := rand.New(rand.NewSource(123))
+	parseSafely := func(src string) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Parse panicked on %q: %v", src, p)
+			}
+		}()
+		_, _ = Parse(src)
+	}
+	for _, base := range bases {
+		// Truncations.
+		for i := 0; i < len(base); i += 7 {
+			parseSafely(base[:i])
+		}
+		// Random byte flips.
+		for trial := 0; trial < 200; trial++ {
+			b := []byte(base)
+			for k := 0; k < 1+r.Intn(3); k++ {
+				b[r.Intn(len(b))] = byte(32 + r.Intn(95))
+			}
+			parseSafely(string(b))
+		}
+		// Random chunk deletions.
+		for trial := 0; trial < 100; trial++ {
+			start := r.Intn(len(base))
+			end := start + r.Intn(len(base)-start)
+			parseSafely(base[:start] + base[end:])
+		}
+	}
+}
+
+// TestLexAllNeverPanics feeds random byte soup to the lexer.
+func TestLexAllNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(64)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("LexAll panicked on %q: %v", b, p)
+				}
+			}()
+			_, _ = LexAll(string(b))
+		}()
+	}
+}
