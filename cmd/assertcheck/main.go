@@ -100,9 +100,10 @@ func main() {
 			fatal(err)
 		}
 		res := c.Check(p)
-		fmt.Printf("%s: %v (depth %d, %d decisions, %d implications, %v, %.2f MB allocated)\n",
+		fmt.Printf("%s: %v (depth %d, %d decisions, %d implications, %v, %.2f MB allocated, %.2f allocs/implication)\n",
 			p.Name, res.Verdict, res.Depth, res.Stats.Decisions,
-			res.Stats.Implications, res.Elapsed.Round(100000), float64(res.AllocBytes)/1e6)
+			res.Stats.Implications, res.Elapsed.Round(100000), float64(res.AllocBytes)/1e6,
+			res.AllocsPerImpl)
 		if res.Trace != nil {
 			fmt.Print(res.Trace.Format(nl))
 		}

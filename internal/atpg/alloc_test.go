@@ -1,0 +1,52 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+)
+
+// TestPropagateZeroAlloc pins the tentpole property of the implication
+// core: on a single-word (≤64-bit) design, one full implication pass —
+// assignment, queueing, forward evaluation, backward implication over
+// adders and comparators, and the backtracking trail — performs zero
+// heap allocations.
+func TestPropagateZeroAlloc(t *testing.T) {
+	nl := netlist.New("alloc")
+	a := nl.AddInput("a", 8)
+	b := nl.AddInput("b", 8)
+	c := nl.AddInput("c", 8)
+	sum := nl.Binary(netlist.KAdd, a, b)
+	diff := nl.Binary(netlist.KSub, sum, c)
+	gt := nl.Binary(netlist.KGt, sum, c)
+	ored := nl.Binary(netlist.KOr, diff, a)
+	_ = nl.Unary(netlist.KRedOr, ored)
+	_ = gt
+
+	e, err := New(nl, 1, ModeProve, Limits{}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.propagate() {
+		t.Fatal("initial propagation conflicts")
+	}
+	va := bv.MustParse("8'b1x0x_01x1")
+	vgt := bv.FromUint64(1, 1)
+	vc := bv.MustParse("8'bxxxx_10xx")
+	// One warm-up pass lets every pre-sized buffer reach steady state.
+	pass := func() {
+		e.pushLevel()
+		if !e.assign(0, a, va) || !e.assign(0, gt, vgt) || !e.assign(0, c, vc) {
+			t.Fatal("assign conflict")
+		}
+		if !e.propagate() {
+			t.Fatal("propagation conflict")
+		}
+		e.popLevel()
+	}
+	pass()
+	if got := testing.AllocsPerRun(100, pass); got != 0 {
+		t.Errorf("full propagate pass: %.2f allocs/op on a single-word netlist, want 0", got)
+	}
+}

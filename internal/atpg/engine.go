@@ -96,13 +96,18 @@ type Engine struct {
 	features Features
 	store    *estg.Store // optional learned-state store
 
-	vals  [][]bv.BV // [frame][signal]
+	vals  [][]bv.BV // [frame][signal], frames slices of one backing array
 	trail []trailEntry
 	// levelMarks[d] is the trail length when decision level d opened.
 	levelMarks []int
 	queue      []gateAt
 	qhead      int
-	queued     map[gateAt]bool
+	// queuedStamp deduplicates the propagation queue without a map:
+	// entry frame*numGates+gate equals queueGen iff the gate instance is
+	// pending. Popping resets the entry to 0 (generations start at 1),
+	// and clearing the whole queue is a single generation bump.
+	queuedStamp []uint32
+	queueGen    uint32
 
 	stats    Stats
 	deadline time.Time
@@ -121,6 +126,8 @@ type Engine struct {
 	// inBuf is the scratch input-cube buffer shared by implyGate and
 	// unjustified (never used re-entrantly).
 	inBuf []bv.BV
+	// unjustBuf is the scratch result buffer of unjustifiedGates.
+	unjustBuf []gateAt
 
 	// domains restricts feasible values of selected signals (local FSM
 	// reachable sets, §6); checked whenever a value becomes fully known.
@@ -165,7 +172,6 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 	e := &Engine{
 		nl: nl, frames: frames, mode: mode, limits: limits, store: store,
 		features: feats,
-		queued:   map[gateAt]bool{},
 	}
 	if e.limits.MaxBacktracks == 0 {
 		e.limits.MaxBacktracks = 200000
@@ -173,9 +179,25 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 	if e.limits.MaxDecisions == 0 {
 		e.limits.MaxDecisions = 1000000
 	}
+	// Pre-size the per-frame value tables, the dedup stamps, the queue
+	// and the trail from the netlist statistics so steady-state
+	// propagation appends never grow a backing array.
+	nSigs, nGates := nl.NumSignals(), nl.NumGates()
+	backing := make([]bv.BV, frames*nSigs)
 	e.vals = make([][]bv.BV, frames)
+	maxArity := 0
+	for gi := range nl.Gates {
+		if n := len(nl.Gates[gi].In); n > maxArity {
+			maxArity = n
+		}
+	}
+	e.inBuf = make([]bv.BV, maxArity)
+	e.queuedStamp = make([]uint32, frames*nGates)
+	e.queueGen = 1
+	e.queue = make([]gateAt, 0, frames*nGates)
+	e.trail = make([]trailEntry, 0, frames*nSigs)
 	for f := range e.vals {
-		e.vals[f] = make([]bv.BV, nl.NumSignals())
+		e.vals[f] = backing[f*nSigs : (f+1)*nSigs : (f+1)*nSigs]
 		for s := range e.vals[f] {
 			e.vals[f][s] = bv.NewX(nl.Signals[s].Width)
 		}
@@ -355,12 +377,12 @@ func (e *Engine) enqueueAround(frame int, sig netlist.SignalID) {
 }
 
 func (e *Engine) enqueue(frame int, g netlist.GateID) {
-	key := gateAt{int32(frame), g}
-	if e.queued[key] {
+	idx := frame*e.nl.NumGates() + int(g)
+	if e.queuedStamp[idx] == e.queueGen {
 		return
 	}
-	e.queued[key] = true
-	e.queue = append(e.queue, key)
+	e.queuedStamp[idx] = e.queueGen
+	e.queue = append(e.queue, gateAt{int32(frame), g})
 }
 
 // Propagate runs word-level logic implication to a fixpoint without
@@ -376,7 +398,7 @@ func (e *Engine) propagate() bool {
 	for e.qhead < len(e.queue) {
 		item := e.queue[e.qhead]
 		e.qhead++
-		delete(e.queued, item)
+		e.queuedStamp[int(item.frame)*e.nl.NumGates()+int(item.gate)] = 0
 		e.stats.Implications++
 		if !e.implyGate(int(item.frame), item.gate) {
 			// Leave the queue dirty; backtrack clears it.
@@ -394,12 +416,18 @@ func (e *Engine) propagate() bool {
 	return true
 }
 
-// clearQueue empties pending work (used on backtrack).
+// clearQueue empties pending work (used on backtrack). Bumping the
+// generation invalidates every stamp at once; the rare uint32 wrap
+// falls back to zeroing the array.
 func (e *Engine) clearQueue() {
 	e.queue = e.queue[:0]
 	e.qhead = 0
-	for k := range e.queued {
-		delete(e.queued, k)
+	e.queueGen++
+	if e.queueGen == 0 {
+		for i := range e.queuedStamp {
+			e.queuedStamp[i] = 0
+		}
+		e.queueGen = 1
 	}
 }
 

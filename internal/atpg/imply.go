@@ -13,9 +13,8 @@ func (e *Engine) implyGate(frame int, gid netlist.GateID) bool {
 	if g.Kind == netlist.KDff {
 		return e.implyDff(frame, g)
 	}
-	if cap(e.inBuf) < len(g.In) {
-		e.inBuf = make([]bv.BV, len(g.In))
-	}
+	// inBuf is pre-sized to the maximum gate arity at construction; the
+	// netlist is immutable while the engine lives.
 	in := e.inBuf[:len(g.In)]
 	for i, s := range g.In {
 		in[i] = e.vals[frame][s]
@@ -208,7 +207,7 @@ func (e *Engine) implyMulBack(frame int, g *netlist.Gate, out bv.BV) bool {
 			if first {
 				cube, first = v, false
 			} else {
-				cube = cube.Union(v)
+				cube.UnionInPlace(v)
 			}
 		}
 		return e.assign(frame, otherSig, cube)
@@ -269,7 +268,7 @@ func (e *Engine) implyEqBack(frame int, g *netlist.Gate, out bv.BV) bool {
 	switch out.Bit(0) {
 	case bv.One:
 		a, b := e.vals[frame][g.In[0]], e.vals[frame][g.In[1]]
-		if _, ok := a.Intersect(b); !ok {
+		if _, conflict := a.RefineScan(b); conflict {
 			return false
 		}
 		// A satisfied equality makes the operands identical.
@@ -287,7 +286,7 @@ func (e *Engine) implyNeBack(frame int, g *netlist.Gate, out bv.BV) bool {
 	switch out.Bit(0) {
 	case bv.Zero:
 		a, b := e.vals[frame][g.In[0]], e.vals[frame][g.In[1]]
-		if _, ok := a.Intersect(b); !ok {
+		if _, conflict := a.RefineScan(b); conflict {
 			return false
 		}
 		return e.merge(frame, g.In[0], frame, g.In[1])
@@ -429,7 +428,7 @@ func (e *Engine) implyMuxBack(frame int, g *netlist.Gate, out bv.BV) bool {
 			return true
 		}
 		d := e.vals[frame][data[v]]
-		if _, ok2 := d.Intersect(out); !ok2 {
+		if _, conflict := d.RefineScan(out); conflict {
 			return false
 		}
 		// The selected input and the output are the same value.
@@ -449,7 +448,7 @@ func (e *Engine) implyMuxBack(frame int, g *netlist.Gate, out bv.BV) bool {
 			feasible = append(feasible, v)
 			continue
 		}
-		if _, ok := e.vals[frame][data[v]].Intersect(out); ok {
+		if _, conflict := e.vals[frame][data[v]].RefineScan(out); !conflict {
 			feasible = append(feasible, v)
 		}
 		if v == max {
@@ -462,14 +461,14 @@ func (e *Engine) implyMuxBack(frame int, g *netlist.Gate, out bv.BV) bool {
 	// Union of feasible select values refines the select cube.
 	cube := bv.FromUint64(sel.Width(), feasible[0])
 	for _, v := range feasible[1:] {
-		cube = cube.Union(bv.FromUint64(sel.Width(), v))
+		cube.UnionInPlace(bv.FromUint64(sel.Width(), v))
 	}
 	if !e.assign(frame, g.In[0], cube) {
 		return false
 	}
 	if len(feasible) == 1 && feasible[0] < uint64(len(data)) {
 		d := data[feasible[0]]
-		if _, ok := e.vals[frame][d].Intersect(e.vals[frame][g.Out]); !ok {
+		if _, conflict := e.vals[frame][d].RefineScan(e.vals[frame][g.Out]); conflict {
 			return false
 		}
 		return e.merge(frame, d, frame, g.Out)
@@ -494,9 +493,6 @@ func (e *Engine) unjustified(frame int, gid netlist.GateID) bool {
 	if t := e.identityTrit(frame, g); t != bv.X {
 		return out.Bit(0) != t && out.Bit(0) != bv.X
 	}
-	if cap(e.inBuf) < len(g.In) {
-		e.inBuf = make([]bv.BV, len(g.In))
-	}
 	in := e.inBuf[:len(g.In)]
 	for i, s := range g.In {
 		in[i] = e.vals[frame][s]
@@ -511,8 +507,9 @@ func (e *Engine) unjustified(frame int, gid netlist.GateID) bool {
 }
 
 // unjustifiedGates scans all frames for unjustified gate instances.
+// The returned slice aliases a scratch buffer valid until the next call.
 func (e *Engine) unjustifiedGates() []gateAt {
-	var out []gateAt
+	out := e.unjustBuf[:0]
 	for f := 0; f < e.frames; f++ {
 		for gi := range e.nl.Gates {
 			if e.unjustified(f, netlist.GateID(gi)) {
@@ -520,5 +517,6 @@ func (e *Engine) unjustifiedGates() []gateAt {
 			}
 		}
 	}
+	e.unjustBuf = out
 	return out
 }

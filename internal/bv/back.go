@@ -10,12 +10,17 @@ package bv
 // forces a=0.
 func BackAnd(out, other BV) BV {
 	checkSameWidth(out, other, "BackAnd")
+	if out.small() {
+		one := out.v0
+		zero := (out.k0 &^ out.v0) & other.v0
+		return BV{width: out.width, v0: one, k0: one | zero}
+	}
 	r := NewX(out.width)
-	for i := range r.val {
-		one := out.known1(i)
-		zero := out.known0(i) & other.known1(i)
-		r.val[i] = one
-		r.known[i] = one | zero
+	for i := range r.vs {
+		one := out.ks[i] & out.vs[i]
+		zero := (out.ks[i] &^ out.vs[i]) & other.ks[i] & other.vs[i]
+		r.vs[i] = one
+		r.ks[i] = one | zero
 	}
 	r.normalize()
 	return r
@@ -26,12 +31,17 @@ func BackAnd(out, other BV) BV {
 // forces a=1.
 func BackOr(out, other BV) BV {
 	checkSameWidth(out, other, "BackOr")
+	if out.small() {
+		zero := out.k0 &^ out.v0
+		one := out.v0 & (other.k0 &^ other.v0)
+		return BV{width: out.width, v0: one, k0: one | zero}
+	}
 	r := NewX(out.width)
-	for i := range r.val {
-		zero := out.known0(i)
-		one := out.known1(i) & other.known0(i)
-		r.val[i] = one
-		r.known[i] = one | zero
+	for i := range r.vs {
+		zero := out.ks[i] &^ out.vs[i]
+		one := out.ks[i] & out.vs[i] & other.ks[i] &^ other.vs[i]
+		r.vs[i] = one
+		r.ks[i] = one | zero
 	}
 	r.normalize()
 	return r
@@ -41,11 +51,15 @@ func BackOr(out, other BV) BV {
 // wherever both are known.
 func BackXor(out, other BV) BV {
 	checkSameWidth(out, other, "BackXor")
+	if out.small() {
+		k := out.k0 & other.k0
+		return BV{width: out.width, v0: (out.v0 ^ other.v0) & k, k0: k}
+	}
 	r := NewX(out.width)
-	for i := range r.val {
-		k := out.known[i] & other.known[i]
-		r.known[i] = k
-		r.val[i] = (out.val[i] ^ other.val[i]) & k
+	for i := range r.vs {
+		k := out.ks[i] & other.ks[i]
+		r.ks[i] = k
+		r.vs[i] = (out.vs[i] ^ other.vs[i]) & k
 	}
 	r.normalize()
 	return r
@@ -70,7 +84,7 @@ func BackRedAnd(out BV, in BV) BV {
 		// If all bits but one are known 1, that one must be 0.
 		idx := -1
 		for i := 0; i < in.width; i++ {
-			switch in.Bit(i) {
+			switch in.getTrit(i) {
 			case Zero:
 				return in // already satisfied; no new implication
 			case X:
@@ -100,7 +114,7 @@ func BackRedOr(out BV, in BV) BV {
 	case One:
 		idx := -1
 		for i := 0; i < in.width; i++ {
-			switch in.Bit(i) {
+			switch in.getTrit(i) {
 			case One:
 				return in
 			case X:
@@ -125,9 +139,8 @@ func BackAdd(out, other BV) (BV, Trit) {
 	return out.SubBorrow(other)
 }
 
-// BackSub returns implications for a subtractor out = a - b. For the
-// minuend a the implication is out + b; for the subtrahend b it is
-// a - out (both three-valued; the caller picks the relevant one).
+// BackSubMinuend returns the implication on the minuend a of a
+// subtractor out = a - b: a refines to out + b (three-valued).
 func BackSubMinuend(out, other BV) BV { return out.Add(other) }
 
 // BackSubSubtrahend returns the implication on the subtrahend b of
@@ -139,8 +152,10 @@ func BackSubSubtrahend(out, minuend BV) BV { return minuend.Sub(out) }
 // by the caller via Refine), low bits map through.
 func BackZext(out BV, inWidth int) BV {
 	r := NewX(inWidth)
-	for i := 0; i < inWidth && i < out.width; i++ {
-		r = r.WithBit(i, out.Bit(i))
+	n := inWidth
+	if out.width < n {
+		n = out.width
 	}
+	blit(&r, 0, out, 0, n)
 	return r
 }

@@ -8,14 +8,24 @@
 // x with 0 or 1. Word-level logic implication refines cubes: known bits
 // are only ever added, never retracted, within one decision level.
 //
-// The representation is a pair of word slices (val, known): bit i is
-// known iff known has bit i set, in which case its value is the i-th
-// bit of val. Unknown positions keep val at 0 so that equal cubes are
+// The representation is a pair of words (val, known): bit i is known
+// iff known has bit i set, in which case its value is the i-th bit of
+// val. Unknown positions keep val at 0 so that equal cubes are
 // representation-equal, which makes Equal and hashing cheap.
+//
+// Widths up to 64 bits — every signal of the paper's Table-2 designs —
+// store their two words inline in the struct with nil spill slices, so
+// small vectors live entirely in registers or on the stack and the hot
+// implication operations perform no heap allocation. Wider vectors
+// spill to a pair of word slices. The split is invisible outside the
+// package: the exported API is unchanged and remains immutable by
+// convention (in-place variants, documented as engine-internal, are the
+// exception; see fast.go).
 package bv
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -45,14 +55,24 @@ const wordBits = 64
 
 // BV is a three-valued bit-vector. The zero value is a width-0 vector.
 // BV values are immutable by convention: all operations return new
-// vectors and never modify their receivers or operands.
+// vectors and never modify their receivers or operands. (The *InPlace /
+// *Into variants in fast.go are the documented exception, for callers
+// that own their storage.)
+//
+// Representation invariant: width <= 64 stores val/known inline in
+// v0/k0 with vs/ks nil; width > 64 uses the vs/ks slices and leaves
+// v0/k0 zero. In both forms val bits are set only where known, and bits
+// beyond width are clear.
 type BV struct {
-	width int
-	val   []uint64
-	known []uint64
+	width  int
+	v0, k0 uint64   // inline words, valid iff width <= 64
+	vs, ks []uint64 // spill words, non-nil iff width > 64
 }
 
 func words(width int) int { return (width + wordBits - 1) / wordBits }
+
+// small reports whether the vector uses the inline representation.
+func (b *BV) small() bool { return b.width <= wordBits }
 
 // lastMask returns the mask of valid bits in the final word.
 func lastMask(width int) uint64 {
@@ -63,46 +83,61 @@ func lastMask(width int) uint64 {
 	return (uint64(1) << r) - 1
 }
 
+// lowMask returns a mask of the n lowest bits (n in [0, 64]); for an
+// inline vector it is the mask of valid bits.
+func lowMask(n int) uint64 {
+	if n >= wordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
 // NewX returns an all-unknown vector of the given width.
 func NewX(width int) BV {
 	if width < 0 {
 		panic("bv: negative width")
 	}
-	return BV{width: width, val: make([]uint64, words(width)), known: make([]uint64, words(width))}
+	if width <= wordBits {
+		return BV{width: width}
+	}
+	return BV{width: width, vs: make([]uint64, words(width)), ks: make([]uint64, words(width))}
 }
 
 // FromUint64 returns a fully-known vector holding v truncated to width.
 func FromUint64(width int, v uint64) BV {
+	if width <= wordBits {
+		if width < 0 {
+			panic("bv: negative width")
+		}
+		m := lowMask(width)
+		return BV{width: width, v0: v & m, k0: m}
+	}
 	b := NewX(width)
-	if width == 0 {
-		return b
+	b.vs[0] = v
+	for i := range b.ks {
+		b.ks[i] = ^uint64(0)
 	}
-	if width < wordBits {
-		v &= (uint64(1) << width) - 1
-	}
-	b.val[0] = v
-	for i := range b.known {
-		b.known[i] = ^uint64(0)
-	}
-	b.known[len(b.known)-1] &= lastMask(width)
-	if width < wordBits {
-		b.val[0] &= lastMask(width)
-	}
+	b.ks[len(b.ks)-1] &= lastMask(width)
 	return b
 }
 
 // Ones returns the fully-known all-ones vector of the given width.
 func Ones(width int) BV {
+	if width <= wordBits {
+		if width < 0 {
+			panic("bv: negative width")
+		}
+		m := lowMask(width)
+		return BV{width: width, v0: m, k0: m}
+	}
 	b := NewX(width)
-	for i := range b.val {
-		b.val[i] = ^uint64(0)
-		b.known[i] = ^uint64(0)
+	for i := range b.vs {
+		b.vs[i] = ^uint64(0)
+		b.ks[i] = ^uint64(0)
 	}
-	if width > 0 {
-		m := lastMask(width)
-		b.val[len(b.val)-1] &= m
-		b.known[len(b.known)-1] &= m
-	}
+	m := lastMask(width)
+	b.vs[len(b.vs)-1] &= m
+	b.ks[len(b.ks)-1] &= m
 	return b
 }
 
@@ -156,7 +191,7 @@ func Parse(s string) (BV, error) {
 			}
 			v := uint64(c - '0')
 			for k := 0; k < 3 && pos < width; k++ {
-				b = b.WithBit(pos, Trit((v>>k)&1))
+				b.setBit(pos, Trit((v>>k)&1))
 				pos++
 			}
 		}
@@ -179,9 +214,9 @@ func parseBinary(width int, digits string) (BV, error) {
 		}
 		switch c {
 		case '0':
-			b = b.WithBit(pos, Zero)
+			b.setBit(pos, Zero)
 		case '1':
-			b = b.WithBit(pos, One)
+			b.setBit(pos, One)
 		case 'x', 'X', '?':
 			// already x
 		default:
@@ -212,7 +247,7 @@ func parseHex(width int, digits string) (BV, error) {
 			return BV{}, fmt.Errorf("bv: bad hex digit %q", c)
 		}
 		for k := 0; k < 4 && pos < width; k++ {
-			b = b.WithBit(pos, Trit((v>>k)&1))
+			b.setBit(pos, Trit((v>>k)&1))
 			pos++
 		}
 	}
@@ -252,11 +287,7 @@ func (b BV) Bit(i int) Trit {
 	if i < 0 || i >= b.width {
 		panic(fmt.Sprintf("bv: bit %d out of range for width %d", i, b.width))
 	}
-	w, s := i/wordBits, uint(i%wordBits)
-	if b.known[w]>>s&1 == 0 {
-		return X
-	}
-	return Trit(b.val[w] >> s & 1)
+	return b.getTrit(i)
 }
 
 // WithBit returns a copy of b with bit i set to t.
@@ -265,32 +296,28 @@ func (b BV) WithBit(i int, t Trit) BV {
 		panic(fmt.Sprintf("bv: bit %d out of range for width %d", i, b.width))
 	}
 	c := b.Clone()
-	w, s := i/wordBits, uint(i%wordBits)
-	switch t {
-	case X:
-		c.known[w] &^= uint64(1) << s
-		c.val[w] &^= uint64(1) << s
-	case Zero:
-		c.known[w] |= uint64(1) << s
-		c.val[w] &^= uint64(1) << s
-	case One:
-		c.known[w] |= uint64(1) << s
-		c.val[w] |= uint64(1) << s
-	}
+	c.setBit(i, t)
 	return c
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Small vectors are plain values, so for
+// them this is a no-op copy with no allocation.
 func (b BV) Clone() BV {
-	c := BV{width: b.width, val: make([]uint64, len(b.val)), known: make([]uint64, len(b.known))}
-	copy(c.val, b.val)
-	copy(c.known, b.known)
+	if b.small() {
+		return b
+	}
+	c := BV{width: b.width, vs: make([]uint64, len(b.vs)), ks: make([]uint64, len(b.ks))}
+	copy(c.vs, b.vs)
+	copy(c.ks, b.ks)
 	return c
 }
 
 // IsAllX reports whether every bit is unknown.
 func (b BV) IsAllX() bool {
-	for _, k := range b.known {
+	if b.small() {
+		return b.k0 == 0
+	}
+	for _, k := range b.ks {
 		if k != 0 {
 			return false
 		}
@@ -300,13 +327,13 @@ func (b BV) IsAllX() bool {
 
 // IsFullyKnown reports whether no bit is unknown.
 func (b BV) IsFullyKnown() bool {
-	for i, k := range b.known {
+	if b.small() {
+		return b.k0 == lowMask(b.width)
+	}
+	for i, k := range b.ks {
 		m := ^uint64(0)
-		if i == len(b.known)-1 {
+		if i == len(b.ks)-1 {
 			m = lastMask(b.width)
-		}
-		if b.width == 0 {
-			return true
 		}
 		if k&m != m {
 			return false
@@ -317,11 +344,12 @@ func (b BV) IsFullyKnown() bool {
 
 // KnownCount returns the number of known bits.
 func (b BV) KnownCount() int {
+	if b.small() {
+		return bits.OnesCount64(b.k0)
+	}
 	n := 0
-	for i := 0; i < b.width; i++ {
-		if b.Bit(i) != X {
-			n++
-		}
+	for _, k := range b.ks {
+		n += bits.OnesCount64(k)
 	}
 	return n
 }
@@ -329,13 +357,10 @@ func (b BV) KnownCount() int {
 // Uint64 returns the value if the vector is fully known and fits in 64
 // bits; ok is false otherwise.
 func (b BV) Uint64() (v uint64, ok bool) {
-	if !b.IsFullyKnown() || b.width > wordBits {
+	if b.width > wordBits || b.k0 != lowMask(b.width) {
 		return 0, false
 	}
-	if b.width == 0 {
-		return 0, true
-	}
-	return b.val[0], true
+	return b.v0, true
 }
 
 // Equal reports whether a and b have identical width and trits.
@@ -343,8 +368,11 @@ func (b BV) Equal(o BV) bool {
 	if b.width != o.width {
 		return false
 	}
-	for i := range b.val {
-		if b.val[i] != o.val[i] || b.known[i] != o.known[i] {
+	if b.small() {
+		return b.v0 == o.v0 && b.k0 == o.k0
+	}
+	for i := range b.vs {
+		if b.vs[i] != o.vs[i] || b.ks[i] != o.ks[i] {
 			return false
 		}
 	}
@@ -356,7 +384,7 @@ func (b BV) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d'b", b.width)
 	for i := b.width - 1; i >= 0; i-- {
-		sb.WriteString(b.Bit(i).String())
+		sb.WriteString(b.getTrit(i).String())
 	}
 	if b.width == 0 {
 		sb.WriteString("0")
@@ -367,13 +395,15 @@ func (b BV) String() string {
 // Key returns a compact string usable as a map key (state hashing for
 // the extended state transition graph).
 func (b BV) Key() string {
-	buf := make([]byte, 0, len(b.val)*16+2)
-	for i := range b.val {
+	nw := words(b.width)
+	buf := make([]byte, 0, nw*16+2)
+	for i := 0; i < nw; i++ {
+		v, k := b.word(i)
 		for s := 0; s < 8; s++ {
-			buf = append(buf, byte(b.val[i]>>(8*s)))
+			buf = append(buf, byte(v>>(8*s)))
 		}
 		for s := 0; s < 8; s++ {
-			buf = append(buf, byte(b.known[i]>>(8*s)))
+			buf = append(buf, byte(k>>(8*s)))
 		}
 	}
 	return string(buf)
@@ -382,22 +412,30 @@ func (b BV) Key() string {
 // normalize clears val bits that are not known and bits beyond width,
 // restoring the canonical representation invariant.
 func (b *BV) normalize() {
-	for i := range b.val {
-		b.val[i] &= b.known[i]
+	if b.small() {
+		m := lowMask(b.width)
+		b.k0 &= m
+		b.v0 &= b.k0
+		return
 	}
-	if b.width > 0 {
-		m := lastMask(b.width)
-		b.val[len(b.val)-1] &= m
-		b.known[len(b.known)-1] &= m
+	for i := range b.vs {
+		b.vs[i] &= b.ks[i]
 	}
+	m := lastMask(b.width)
+	b.vs[len(b.vs)-1] &= m
+	b.ks[len(b.ks)-1] &= m
 }
 
 // Min returns the smallest fully-known vector in the cube (every x set
 // to 0). Interpreting vectors as unsigned integers.
 func (b BV) Min() BV {
+	if b.small() {
+		m := lowMask(b.width)
+		return BV{width: b.width, v0: b.v0, k0: m}
+	}
 	c := b.Clone()
-	for i := range c.known {
-		c.known[i] = ^uint64(0)
+	for i := range c.ks {
+		c.ks[i] = ^uint64(0)
 	}
 	c.normalize()
 	return c
@@ -405,10 +443,14 @@ func (b BV) Min() BV {
 
 // Max returns the largest fully-known vector in the cube (every x set to 1).
 func (b BV) Max() BV {
+	if b.small() {
+		m := lowMask(b.width)
+		return BV{width: b.width, v0: (b.v0 | ^b.k0) & m, k0: m}
+	}
 	c := b.Clone()
-	for i := range c.val {
-		c.val[i] |= ^c.known[i]
-		c.known[i] = ^uint64(0)
+	for i := range c.vs {
+		c.vs[i] |= ^c.ks[i]
+		c.ks[i] = ^uint64(0)
 	}
 	c.normalize()
 	return c
@@ -419,10 +461,7 @@ func (b BV) MinUint64() uint64 {
 	if b.width > wordBits {
 		panic("bv: MinUint64 on wide vector")
 	}
-	if b.width == 0 {
-		return 0
-	}
-	return b.val[0]
+	return b.v0
 }
 
 // MaxUint64 returns Max as a uint64; only valid for width <= 64.
@@ -430,10 +469,7 @@ func (b BV) MaxUint64() uint64 {
 	if b.width > wordBits {
 		panic("bv: MaxUint64 on wide vector")
 	}
-	if b.width == 0 {
-		return 0
-	}
-	return b.val[0] | (^b.known[0] & lastMask(b.width))
+	return b.v0 | (^b.k0 & lowMask(b.width))
 }
 
 // Cmp compares two fully-known vectors of equal width as unsigned
@@ -445,9 +481,18 @@ func (b BV) Cmp(o BV) int {
 	if !b.IsFullyKnown() || !o.IsFullyKnown() {
 		panic("bv: Cmp on partially-known vectors")
 	}
-	for i := len(b.val) - 1; i >= 0; i-- {
-		if b.val[i] != o.val[i] {
-			if b.val[i] < o.val[i] {
+	if b.small() {
+		switch {
+		case b.v0 < o.v0:
+			return -1
+		case b.v0 > o.v0:
+			return 1
+		}
+		return 0
+	}
+	for i := len(b.vs) - 1; i >= 0; i-- {
+		if b.vs[i] != o.vs[i] {
+			if b.vs[i] < o.vs[i] {
 				return -1
 			}
 			return 1
@@ -464,14 +509,20 @@ func (b BV) Intersect(o BV) (BV, bool) {
 	if b.width != o.width {
 		panic("bv: Intersect width mismatch")
 	}
+	if b.small() {
+		if b.k0&o.k0&(b.v0^o.v0) != 0 {
+			return BV{}, false
+		}
+		return BV{width: b.width, v0: b.v0 | o.v0, k0: b.k0 | o.k0}, true
+	}
 	c := NewX(b.width)
-	for i := range c.val {
-		conflict := b.known[i] & o.known[i] & (b.val[i] ^ o.val[i])
+	for i := range c.vs {
+		conflict := b.ks[i] & o.ks[i] & (b.vs[i] ^ o.vs[i])
 		if conflict != 0 {
 			return BV{}, false
 		}
-		c.known[i] = b.known[i] | o.known[i]
-		c.val[i] = b.val[i] | o.val[i]
+		c.ks[i] = b.ks[i] | o.ks[i]
+		c.vs[i] = b.vs[i] | o.vs[i]
 	}
 	c.normalize()
 	return c, true
@@ -483,11 +534,15 @@ func (b BV) Union(o BV) BV {
 	if b.width != o.width {
 		panic("bv: Union width mismatch")
 	}
+	if b.small() {
+		agree := b.k0 & o.k0 & ^(b.v0 ^ o.v0)
+		return BV{width: b.width, v0: b.v0 & agree, k0: agree}
+	}
 	c := NewX(b.width)
-	for i := range c.val {
-		agree := b.known[i] & o.known[i] & ^(b.val[i] ^ o.val[i])
-		c.known[i] = agree
-		c.val[i] = b.val[i] & agree
+	for i := range c.vs {
+		agree := b.ks[i] & o.ks[i] & ^(b.vs[i] ^ o.vs[i])
+		c.ks[i] = agree
+		c.vs[i] = b.vs[i] & agree
 	}
 	c.normalize()
 	return c
@@ -499,11 +554,14 @@ func (b BV) Covers(o BV) bool {
 	if b.width != o.width {
 		panic("bv: Covers width mismatch")
 	}
-	for i := range b.val {
-		if b.known[i]&^o.known[i] != 0 {
+	if b.small() {
+		return b.k0&^o.k0 == 0 && b.k0&(b.v0^o.v0) == 0
+	}
+	for i := range b.vs {
+		if b.ks[i]&^o.ks[i] != 0 {
 			return false
 		}
-		if b.known[i]&(b.val[i]^o.val[i]) != 0 {
+		if b.ks[i]&(b.vs[i]^o.vs[i]) != 0 {
 			return false
 		}
 	}
@@ -521,8 +579,11 @@ func (b BV) Refine(o BV) (r BV, changed, ok bool) {
 	if !ok {
 		return BV{}, false, false
 	}
-	for i := range r.known {
-		if r.known[i] != b.known[i] {
+	if b.small() {
+		return r, r.k0 != b.k0, true
+	}
+	for i := range r.ks {
+		if r.ks[i] != b.ks[i] {
 			return r, true, true
 		}
 	}
@@ -535,13 +596,7 @@ func (b BV) Contains(v uint64) bool {
 	if b.width > wordBits {
 		panic("bv: Contains on wide vector")
 	}
-	if b.width == 0 {
-		return true
-	}
-	if b.width < wordBits {
-		v &= (uint64(1) << b.width) - 1
-	}
-	return (v^b.val[0])&b.known[0] == 0
+	return (v^b.v0)&b.k0 == 0
 }
 
 // CountSolutions returns the number of fully-known vectors in the cube,
@@ -582,6 +637,10 @@ func (b BV) Zext(width int) BV {
 		n = width
 	}
 	blit(&c, 0, b, 0, n)
+	if c.small() {
+		c.k0 |= lowMask(width) &^ lowMask(n)
+		return c
+	}
 	for i := n; i < width; i++ {
 		c.setBit(i, Zero)
 	}

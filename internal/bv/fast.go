@@ -1,35 +1,69 @@
 package bv
 
-// Allocation-conscious implementations of the hot operations. The
-// public API is unchanged; these replace per-bit WithBit loops (which
-// clone the whole vector per bit) with in-place construction on fresh
-// vectors. Profiling the ATPG engine showed Concat/Slice/AddCarry
-// dominating runtime through WithBit's clones.
+// Allocation-conscious primitives and the engine-internal mutating API.
+// The exported immutable API (bv.go, ops.go, back.go) is unchanged;
+// small vectors (width <= 64) are plain values, so the immutable
+// operations on them already allocate nothing. The *InPlace and *Into
+// variants below additionally let owners of wide vectors reuse their
+// spill storage. They are for callers that exclusively own the
+// receiver's storage (the engine's cube-union accumulators, EvalGate's
+// intermediate results) and must never be applied to a vector that
+// another holder may still read.
 
 // setBit mutates a bit of an *unshared* vector (freshly allocated by
 // the caller, never an operand).
 func (b *BV) setBit(i int, t Trit) {
+	if b.vs == nil {
+		s := uint(i)
+		switch t {
+		case X:
+			b.k0 &^= uint64(1) << s
+			b.v0 &^= uint64(1) << s
+		case Zero:
+			b.k0 |= uint64(1) << s
+			b.v0 &^= uint64(1) << s
+		case One:
+			b.k0 |= uint64(1) << s
+			b.v0 |= uint64(1) << s
+		}
+		return
+	}
 	w, s := i/wordBits, uint(i%wordBits)
 	switch t {
 	case X:
-		b.known[w] &^= uint64(1) << s
-		b.val[w] &^= uint64(1) << s
+		b.ks[w] &^= uint64(1) << s
+		b.vs[w] &^= uint64(1) << s
 	case Zero:
-		b.known[w] |= uint64(1) << s
-		b.val[w] &^= uint64(1) << s
+		b.ks[w] |= uint64(1) << s
+		b.vs[w] &^= uint64(1) << s
 	case One:
-		b.known[w] |= uint64(1) << s
-		b.val[w] |= uint64(1) << s
+		b.ks[w] |= uint64(1) << s
+		b.vs[w] |= uint64(1) << s
 	}
 }
 
 // getTrit reads a bit without bounds checking beyond slice safety.
 func (b *BV) getTrit(i int) Trit {
+	if b.vs == nil {
+		s := uint(i)
+		if b.k0>>s&1 == 0 {
+			return X
+		}
+		return Trit(b.v0 >> s & 1)
+	}
 	w, s := i/wordBits, uint(i%wordBits)
-	if b.known[w]>>s&1 == 0 {
+	if b.ks[w]>>s&1 == 0 {
 		return X
 	}
-	return Trit(b.val[w] >> s & 1)
+	return Trit(b.vs[w] >> s & 1)
+}
+
+// word returns the i-th (val, known) word pair of either representation.
+func (b *BV) word(i int) (v, k uint64) {
+	if b.vs == nil {
+		return b.v0, b.k0
+	}
+	return b.vs[i], b.ks[i]
 }
 
 // RefineScan reports whether refining b with o would add known bits
@@ -37,11 +71,17 @@ func (b *BV) getTrit(i int) Trit {
 // read-only prefix of Refine used on the implication fast path, where
 // the overwhelmingly common case is "no change".
 func (b BV) RefineScan(o BV) (changed, conflict bool) {
-	for i := range b.val {
-		if b.known[i]&o.known[i]&(b.val[i]^o.val[i]) != 0 {
+	if b.small() {
+		if b.k0&o.k0&(b.v0^o.v0) != 0 {
 			return false, true
 		}
-		if o.known[i]&^b.known[i] != 0 {
+		return o.k0&^b.k0 != 0, false
+	}
+	for i := range b.vs {
+		if b.ks[i]&o.ks[i]&(b.vs[i]^o.vs[i]) != 0 {
+			return false, true
+		}
+		if o.ks[i]&^b.ks[i] != 0 {
 			changed = true
 		}
 	}
@@ -49,14 +89,192 @@ func (b BV) RefineScan(o BV) (changed, conflict bool) {
 }
 
 // blit copies n bits of src starting at srcLo into dst starting at
-// dstLo. dst must be unshared; bits outside the blit are untouched.
+// dstLo, OR-ing known bits in. dst must be unshared; bits outside the
+// blit are untouched.
 func blit(dst *BV, dstLo int, src BV, srcLo, n int) {
-	for k := 0; k < n; k++ {
-		sw, ss := (srcLo+k)/wordBits, uint((srcLo+k)%wordBits)
-		kn := src.known[sw] >> ss & 1
-		vl := src.val[sw] >> ss & 1
-		dw, ds := (dstLo+k)/wordBits, uint((dstLo+k)%wordBits)
-		dst.known[dw] |= kn << ds
-		dst.val[dw] |= (vl & kn) << ds
+	if n == 0 {
+		return
 	}
+	if dst.small() && src.small() {
+		m := lowMask(n)
+		kn := (src.k0 >> uint(srcLo)) & m
+		vl := (src.v0 >> uint(srcLo)) & m
+		dst.k0 |= kn << uint(dstLo)
+		dst.v0 |= vl << uint(dstLo)
+		return
+	}
+	for k := 0; k < n; k++ {
+		sv, sk := src.word((srcLo + k) / wordBits)
+		ss := uint((srcLo + k) % wordBits)
+		kn := sk >> ss & 1
+		vl := sv >> ss & 1
+		if dst.vs == nil {
+			ds := uint(dstLo + k)
+			dst.k0 |= kn << ds
+			dst.v0 |= (vl & kn) << ds
+			continue
+		}
+		dw, ds := (dstLo+k)/wordBits, uint((dstLo+k)%wordBits)
+		dst.ks[dw] |= kn << ds
+		dst.vs[dw] |= (vl & kn) << ds
+	}
+}
+
+// RefineInPlace merges the known bits of o into b, mutating b. It is
+// Refine for callers that own b's storage: no allocation for any width.
+// On conflict b is left unchanged and ok is false.
+func (b *BV) RefineInPlace(o BV) (changed, ok bool) {
+	if b.width != o.width {
+		panic("bv: RefineInPlace width mismatch")
+	}
+	if b.small() {
+		if b.k0&o.k0&(b.v0^o.v0) != 0 {
+			return false, false
+		}
+		nk := b.k0 | o.k0
+		changed = nk != b.k0
+		b.v0 |= o.v0
+		b.k0 = nk
+		return changed, true
+	}
+	for i := range b.vs {
+		if b.ks[i]&o.ks[i]&(b.vs[i]^o.vs[i]) != 0 {
+			return false, false
+		}
+	}
+	for i := range b.vs {
+		nk := b.ks[i] | o.ks[i]
+		if nk != b.ks[i] {
+			changed = true
+		}
+		b.vs[i] |= o.vs[i]
+		b.ks[i] = nk
+	}
+	return changed, true
+}
+
+// IntersectInPlace narrows b to the cube intersection of b and o,
+// mutating b. ok is false (b unchanged) when the cubes are disjoint.
+func (b *BV) IntersectInPlace(o BV) bool {
+	_, ok := b.RefineInPlace(o)
+	return ok
+}
+
+// UnionInPlace widens b to the smallest cube containing both b and o,
+// mutating b.
+func (b *BV) UnionInPlace(o BV) {
+	if b.width != o.width {
+		panic("bv: UnionInPlace width mismatch")
+	}
+	if b.small() {
+		agree := b.k0 & o.k0 & ^(b.v0 ^ o.v0)
+		b.v0 &= agree
+		b.k0 = agree
+		return
+	}
+	for i := range b.vs {
+		agree := b.ks[i] & o.ks[i] & ^(b.vs[i] ^ o.vs[i])
+		b.vs[i] &= agree
+		b.ks[i] = agree
+	}
+}
+
+// reshape resizes dst to the given width, reusing its spill storage
+// when the capacity fits. Words are NOT cleared: every caller below
+// overwrites all of them, which is also what makes the *Into kernels
+// safe when dst aliases an operand (reads of word i complete before
+// word i is written).
+func (dst *BV) reshape(width int) {
+	if width <= wordBits {
+		*dst = BV{width: width}
+		return
+	}
+	nw := words(width)
+	if cap(dst.vs) < nw || cap(dst.ks) < nw {
+		*dst = NewX(width)
+		return
+	}
+	dst.width = width
+	dst.vs = dst.vs[:nw]
+	dst.ks = dst.ks[:nw]
+	dst.v0, dst.k0 = 0, 0
+}
+
+// CopyInto replaces *dst with a copy of src, reusing dst's spill
+// storage when possible. dst must own its storage.
+func CopyInto(dst *BV, src BV) {
+	if src.small() {
+		*dst = src
+		return
+	}
+	dst.reshape(src.width)
+	copy(dst.vs, src.vs)
+	copy(dst.ks, src.ks)
+}
+
+// AndInto stores the three-valued bitwise AND of a and o into dst,
+// reusing dst's spill storage. dst may alias a or o.
+func AndInto(dst *BV, a, o BV) {
+	checkSameWidth(a, o, "AndInto")
+	if a.small() {
+		*dst = a.And(o)
+		return
+	}
+	dst.reshape(a.width)
+	for i := range dst.vs {
+		one := a.ks[i] & a.vs[i] & o.ks[i] & o.vs[i]
+		zero := (a.ks[i] &^ a.vs[i]) | (o.ks[i] &^ o.vs[i])
+		dst.vs[i] = one
+		dst.ks[i] = one | zero
+	}
+	dst.normalize()
+}
+
+// OrInto stores the three-valued bitwise OR of a and o into dst.
+// dst may alias a or o.
+func OrInto(dst *BV, a, o BV) {
+	checkSameWidth(a, o, "OrInto")
+	if a.small() {
+		*dst = a.Or(o)
+		return
+	}
+	dst.reshape(a.width)
+	for i := range dst.vs {
+		one := (a.ks[i] & a.vs[i]) | (o.ks[i] & o.vs[i])
+		zero := (a.ks[i] &^ a.vs[i]) & (o.ks[i] &^ o.vs[i])
+		dst.vs[i] = one
+		dst.ks[i] = one | zero
+	}
+	dst.normalize()
+}
+
+// XorInto stores the three-valued bitwise XOR of a and o into dst.
+// dst may alias a or o.
+func XorInto(dst *BV, a, o BV) {
+	checkSameWidth(a, o, "XorInto")
+	if a.small() {
+		*dst = a.Xor(o)
+		return
+	}
+	dst.reshape(a.width)
+	for i := range dst.vs {
+		k := a.ks[i] & o.ks[i]
+		dst.ks[i] = k
+		dst.vs[i] = (a.vs[i] ^ o.vs[i]) & k
+	}
+	dst.normalize()
+}
+
+// NotInto stores the bitwise complement of a into dst. dst may alias a.
+func NotInto(dst *BV, a BV) {
+	if a.small() {
+		*dst = a.Not()
+		return
+	}
+	dst.reshape(a.width)
+	for i := range dst.vs {
+		dst.vs[i] = ^a.vs[i] & a.ks[i]
+		dst.ks[i] = a.ks[i]
+	}
+	dst.normalize()
 }

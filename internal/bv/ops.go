@@ -1,16 +1,16 @@
 package bv
 
+import "math/bits"
+
 // Three-valued bitwise and arithmetic operations. Forward operations
 // compute the tightest cube containing f(a, b) for all completions of
 // the operand cubes (bitwise ops are exact per bit; arithmetic ops use
 // ripple carries with three-valued carry propagation, which is the
 // "3-valued forward and backward simulation" of §3.1).
-
-// known0 returns the mask of bits known to be 0 in word i.
-func (b BV) known0(i int) uint64 { return b.known[i] &^ b.val[i] }
-
-// known1 returns the mask of bits known to be 1 in word i.
-func (b BV) known1(i int) uint64 { return b.known[i] & b.val[i] }
+//
+// Small vectors (width <= 64) take word-parallel fast paths on the
+// inline representation; note the canonical invariant val ⊆ known makes
+// known-1 simply val and known-0 known&^val.
 
 func checkSameWidth(a, b BV, op string) {
 	if a.width != b.width {
@@ -20,9 +20,12 @@ func checkSameWidth(a, b BV, op string) {
 
 // Not returns the bitwise complement (x stays x).
 func (b BV) Not() BV {
+	if b.small() {
+		return BV{width: b.width, v0: ^b.v0 & b.k0, k0: b.k0}
+	}
 	c := b.Clone()
-	for i := range c.val {
-		c.val[i] = ^c.val[i] & c.known[i]
+	for i := range c.vs {
+		c.vs[i] = ^c.vs[i] & c.ks[i]
 	}
 	c.normalize()
 	return c
@@ -31,12 +34,17 @@ func (b BV) Not() BV {
 // And returns the three-valued bitwise AND.
 func (b BV) And(o BV) BV {
 	checkSameWidth(b, o, "And")
+	if b.small() {
+		one := b.v0 & o.v0
+		zero := (b.k0 &^ b.v0) | (o.k0 &^ o.v0)
+		return BV{width: b.width, v0: one, k0: one | zero}
+	}
 	c := NewX(b.width)
-	for i := range c.val {
-		one := b.known1(i) & o.known1(i)
-		zero := b.known0(i) | o.known0(i)
-		c.val[i] = one
-		c.known[i] = one | zero
+	for i := range c.vs {
+		one := b.vs[i] & o.vs[i]
+		zero := (b.ks[i] &^ b.vs[i]) | (o.ks[i] &^ o.vs[i])
+		c.vs[i] = one
+		c.ks[i] = one | zero
 	}
 	c.normalize()
 	return c
@@ -45,12 +53,17 @@ func (b BV) And(o BV) BV {
 // Or returns the three-valued bitwise OR.
 func (b BV) Or(o BV) BV {
 	checkSameWidth(b, o, "Or")
+	if b.small() {
+		one := b.v0 | o.v0
+		zero := (b.k0 &^ b.v0) & (o.k0 &^ o.v0)
+		return BV{width: b.width, v0: one, k0: one | zero}
+	}
 	c := NewX(b.width)
-	for i := range c.val {
-		one := b.known1(i) | o.known1(i)
-		zero := b.known0(i) & o.known0(i)
-		c.val[i] = one
-		c.known[i] = one | zero
+	for i := range c.vs {
+		one := b.vs[i] | o.vs[i]
+		zero := (b.ks[i] &^ b.vs[i]) & (o.ks[i] &^ o.vs[i])
+		c.vs[i] = one
+		c.ks[i] = one | zero
 	}
 	c.normalize()
 	return c
@@ -59,11 +72,15 @@ func (b BV) Or(o BV) BV {
 // Xor returns the three-valued bitwise XOR (known only where both known).
 func (b BV) Xor(o BV) BV {
 	checkSameWidth(b, o, "Xor")
+	if b.small() {
+		k := b.k0 & o.k0
+		return BV{width: b.width, v0: (b.v0 ^ o.v0) & k, k0: k}
+	}
 	c := NewX(b.width)
-	for i := range c.val {
-		k := b.known[i] & o.known[i]
-		c.known[i] = k
-		c.val[i] = (b.val[i] ^ o.val[i]) & k
+	for i := range c.vs {
+		k := b.ks[i] & o.ks[i]
+		c.ks[i] = k
+		c.vs[i] = (b.vs[i] ^ o.vs[i]) & k
 	}
 	c.normalize()
 	return c
@@ -119,8 +136,21 @@ func tritMaj(a, b, c Trit) Trit {
 // AddCarry returns the three-valued sum a+b+cin truncated to the width
 // of a, along with the carry out of the final bit. This is the forward
 // adder simulation of Fig. 3.
+//
+// Small widths take a word-parallel path: the ripple carry chain is a
+// monotone circuit of the operand bits, so its Kleene three-valued
+// value is known-1 exactly when the all-x-to-0 completion carries and
+// known-0 exactly when the all-x-to-1 completion does not. Two ordinary
+// 64-bit additions (min and max completions) therefore recover every
+// carry trit at once, bit-identically to the per-trit ripple loop.
 func (b BV) AddCarry(o BV, cin Trit) (sum BV, cout Trit) {
 	checkSameWidth(b, o, "Add")
+	if b.width == 0 {
+		return b, cin
+	}
+	if b.small() {
+		return b.addCarrySmall(o, cin)
+	}
 	sum = NewX(b.width)
 	c := cin
 	for i := 0; i < b.width; i++ {
@@ -130,6 +160,43 @@ func (b BV) AddCarry(o BV, cin Trit) (sum BV, cout Trit) {
 		c = tritMaj(ai, bi, c)
 	}
 	return sum, c
+}
+
+func (b BV) addCarrySmall(o BV, cin Trit) (BV, Trit) {
+	w := b.width
+	m := lowMask(w)
+	amin, amax := b.v0, b.v0|(^b.k0&m)
+	bmin, bmax := o.v0, o.v0|(^o.k0&m)
+	var cminBit, cmaxBit uint64
+	switch cin {
+	case One:
+		cminBit, cmaxBit = 1, 1
+	case X:
+		cmaxBit = 1
+	}
+	var smin, smax, coutMin, coutMax uint64
+	if w == wordBits {
+		var c1, c2 uint64
+		smin, c1 = bits.Add64(amin, bmin, cminBit)
+		smax, c2 = bits.Add64(amax, bmax, cmaxBit)
+		coutMin, coutMax = c1, c2
+	} else {
+		smin = amin + bmin + cminBit
+		smax = amax + bmax + cmaxBit
+		coutMin = smin >> uint(w) & 1
+		coutMax = smax >> uint(w) & 1
+	}
+	// Carry-in per bit position (bit 0 holds cin).
+	carriesMin := amin ^ bmin ^ smin
+	carriesMax := amax ^ bmax ^ smax
+	carryKnown := ^(carriesMin ^ carriesMax)
+	sumKnown := b.k0 & o.k0 & carryKnown & m
+	sum := BV{width: w, v0: smin & sumKnown, k0: sumKnown}
+	cout := X
+	if coutMin == coutMax {
+		cout = Trit(coutMin)
+	}
+	return sum, cout
 }
 
 // Add returns the three-valued sum modulo 2^width.
@@ -191,7 +258,7 @@ func (b BV) Mul(o BV) BV {
 			row = NewX(w)
 			// Low i bits of the row are 0 regardless.
 			for k := 0; k < i; k++ {
-				row = row.WithBit(k, Zero)
+				row.setBit(k, Zero)
 			}
 			// If o is known to be zero the row is zero.
 			if z, okz := o.Uint64(); okz && z == 0 {
@@ -222,6 +289,14 @@ func mulExact(a, b BV) BV {
 
 // shiftLeftKnown returns b << n with known zero fill.
 func (b BV) shiftLeftKnown(n int) BV {
+	if b.small() {
+		m := lowMask(b.width)
+		low := lowMask(n) & m
+		if n >= b.width {
+			return BV{width: b.width, v0: 0, k0: m}
+		}
+		return BV{width: b.width, v0: b.v0 << uint(n) & m, k0: b.k0<<uint(n)&m | low}
+	}
 	c := NewX(b.width)
 	for i := 0; i < n && i < b.width; i++ {
 		c.setBit(i, Zero)
@@ -234,6 +309,14 @@ func (b BV) shiftLeftKnown(n int) BV {
 
 // shiftRightKnown returns b >> n (logical) with known zero fill.
 func (b BV) shiftRightKnown(n int) BV {
+	if b.small() {
+		m := lowMask(b.width)
+		if n >= b.width {
+			return BV{width: b.width, v0: 0, k0: m}
+		}
+		high := m &^ lowMask(b.width-n)
+		return BV{width: b.width, v0: b.v0 >> uint(n), k0: b.k0>>uint(n) | high}
+	}
 	c := NewX(b.width)
 	if n < b.width {
 		blit(&c, 0, b, n, b.width-n)
@@ -284,7 +367,7 @@ func (b BV) shiftDynamic(o BV, f func(BV, int) BV) BV {
 		if first {
 			acc, first = r, false
 		} else {
-			acc = acc.Union(r)
+			acc.UnionInPlace(r)
 		}
 		if s == uint64(b.width) {
 			break
@@ -298,32 +381,63 @@ func (b BV) shiftDynamic(o BV, f func(BV, int) BV) BV {
 
 // RedAnd returns the 1-bit reduction AND.
 func (b BV) RedAnd() BV {
+	if b.small() {
+		m := lowMask(b.width)
+		switch {
+		case b.k0&^b.v0 != 0: // some bit known 0
+			return BV{width: 1, v0: 0, k0: 1}
+		case b.v0 == m: // all bits known 1 (width 0: vacuously One)
+			return BV{width: 1, v0: 1, k0: 1}
+		}
+		return BV{width: 1}
+	}
 	out := One
 	for i := 0; i < b.width; i++ {
-		out = tritAnd(out, b.Bit(i))
+		out = tritAnd(out, b.getTrit(i))
 	}
-	return NewX(1).WithBit(0, out)
+	r := NewX(1)
+	r.setBit(0, out)
+	return r
 }
 
 // RedOr returns the 1-bit reduction OR.
 func (b BV) RedOr() BV {
+	if b.small() {
+		switch {
+		case b.v0 != 0: // some bit known 1
+			return BV{width: 1, v0: 1, k0: 1}
+		case b.k0 == lowMask(b.width): // all known, all 0
+			return BV{width: 1, v0: 0, k0: 1}
+		}
+		return BV{width: 1}
+	}
 	out := Zero
 	for i := 0; i < b.width; i++ {
-		out = tritOr(out, b.Bit(i))
+		out = tritOr(out, b.getTrit(i))
 	}
-	return NewX(1).WithBit(0, out)
+	r := NewX(1)
+	r.setBit(0, out)
+	return r
 }
 
 // RedXor returns the 1-bit reduction XOR.
 func (b BV) RedXor() BV {
+	if b.small() {
+		if b.k0 != lowMask(b.width) {
+			return BV{width: 1}
+		}
+		return BV{width: 1, v0: uint64(bits.OnesCount64(b.v0) & 1), k0: 1}
+	}
 	out := Zero
 	for i := 0; i < b.width; i++ {
-		out = tritXor(out, b.Bit(i))
+		out = tritXor(out, b.getTrit(i))
 	}
-	return NewX(1).WithBit(0, out)
+	r := NewX(1)
+	r.setBit(0, out)
+	return r
 }
 
-// CmpThree compares two cubes as unsigned integers in three-valued
+// LtThree compares two cubes as unsigned integers in three-valued
 // logic, returning the trit of the predicate a < b (Lt), using interval
 // reasoning: if max(a) < min(b) the answer is One; if min(a) >= max(b)
 // it is Zero; otherwise X.
@@ -351,6 +465,16 @@ func LtThree(a, b BV) Trit {
 // equal; Zero if some bit is known unequal; X otherwise.
 func EqThree(a, b BV) Trit {
 	checkSameWidth(a, b, "Eq")
+	if a.small() {
+		if a.k0&b.k0&(a.v0^b.v0) != 0 {
+			return Zero
+		}
+		m := lowMask(a.width)
+		if a.k0 == m && b.k0 == m {
+			return One
+		}
+		return X
+	}
 	if _, ok := a.Intersect(b); !ok {
 		return Zero
 	}
@@ -411,7 +535,7 @@ func (b BV) RangeUint64() (lo, hi uint64) {
 // tightenToRange64 is TightenToRange for widths up to 64 bits, working
 // directly on the [min, max] integers of the cube.
 func (b BV) tightenToRange64(lo, hi uint64) (BV, bool) {
-	cur := b.Clone()
+	cur := b
 	cmin, cmax := cur.MinUint64(), cur.MaxUint64()
 	if cmax < lo || cmin > hi {
 		return BV{}, false

@@ -78,6 +78,9 @@ func TestTable2Properties(t *testing.T) {
 	for _, d := range designs {
 		for i, p := range d.Props {
 			id := d.PropIDs[i]
+			if testing.Short() && id == "p5" {
+				continue // the arbiter one-hot proof dominates the suite's runtime
+			}
 			opts := core.Options{MaxDepth: depthFor(id), UseInduction: true}
 			c, err := core.New(d.NL, opts)
 			if err != nil {

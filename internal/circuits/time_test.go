@@ -11,6 +11,9 @@ import (
 // reports is visible (the sequential one-hot proofs p3/p5/p11 dominate
 // the cheap combinational checks).
 func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table-2 run takes ~30s; run without -short for the perf yardstick")
+	}
 	designs, err := All()
 	if err != nil {
 		t.Fatal(err)

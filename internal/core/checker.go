@@ -116,7 +116,15 @@ type Result struct {
 	// AllocBytes is the total heap allocated during the check — the
 	// measured analogue of the paper's memory column.
 	AllocBytes uint64
-	Validated  bool
+	// AllocObjects is the number of heap objects allocated during the
+	// check; AllocsPerImpl divides it by the implication count. The
+	// word-level implication core is designed to run allocation-free on
+	// single-word (≤64-bit) designs, so this ratio is the regression
+	// canary for the hot path: near zero when the fast path holds,
+	// jumping when an op falls off it.
+	AllocObjects  uint64
+	AllocsPerImpl float64
+	Validated     bool
 }
 
 // Checker checks properties of one netlist.
@@ -202,6 +210,10 @@ func (c *Checker) Check(p property.Property) Result {
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 	res.AllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
+	res.AllocObjects = ms1.Mallocs - ms0.Mallocs
+	if res.Stats.Implications > 0 {
+		res.AllocsPerImpl = float64(res.AllocObjects) / float64(res.Stats.Implications)
+	}
 	res.Elapsed = time.Since(start)
 	res.Property = p.Name
 	return res

@@ -1,0 +1,41 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/bv"
+)
+
+var sinkBV bv.BV
+
+// TestEvalGateZeroAllocSmall pins the forward-evaluation fast path:
+// with the inline ≤64-bit vector representation, EvalGate must not
+// touch the heap for any single-word gate class.
+func TestEvalGateZeroAllocSmall(t *testing.T) {
+	nl := New("alloc")
+	a := nl.AddInput("a", 16)
+	b := nl.AddInput("b", 16)
+	sel := nl.AddInput("sel", 1)
+	cases := []struct {
+		name string
+		out  SignalID
+		in   []bv.BV
+	}{
+		{"and", nl.Binary(KAnd, a, b), []bv.BV{bv.MustParse("16'b10xx_01xx_10x1_0x10"), bv.MustParse("16'b1xx0_011x_10xx_0110")}},
+		{"add", nl.Binary(KAdd, a, b), []bv.BV{bv.MustParse("16'b10xx_01xx_10x1_0x10"), bv.FromUint64(16, 1234)}},
+		{"sub", nl.Binary(KSub, a, b), []bv.BV{bv.FromUint64(16, 999), bv.MustParse("16'bxxxx_xxxx_0000_1111")}},
+		{"lt", nl.Binary(KLt, a, b), []bv.BV{bv.FromUint64(16, 3), bv.MustParse("16'b0000_0000_1xxx_0000")}},
+		{"eq", nl.Binary(KEq, a, b), []bv.BV{bv.FromUint64(16, 3), bv.FromUint64(16, 3)}},
+		{"mux", nl.Mux(sel, a, b), []bv.BV{bv.NewX(1), bv.FromUint64(16, 1), bv.FromUint64(16, 2)}},
+		{"redor", nl.Unary(KRedOr, a), []bv.BV{bv.MustParse("16'bxxxx_xxxx_xxxx_xx1x")}},
+	}
+	for _, tc := range cases {
+		g := &nl.Gates[nl.Signals[tc.out].Driver]
+		got := testing.AllocsPerRun(100, func() {
+			sinkBV = nl.EvalGate(g, tc.in)
+		})
+		if got != 0 {
+			t.Errorf("EvalGate(%s): %.2f allocs/op on ≤64-bit operands, want 0", tc.name, got)
+		}
+	}
+}

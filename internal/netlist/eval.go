@@ -26,11 +26,17 @@ func (n *Netlist) EvalGate(g *Gate, in []bv.BV) bv.BV {
 	case KXor:
 		return in[0].Xor(in[1])
 	case KNand:
-		return in[0].And(in[1]).Not()
+		v := in[0].And(in[1])
+		bv.NotInto(&v, v)
+		return v
 	case KNor:
-		return in[0].Or(in[1]).Not()
+		v := in[0].Or(in[1])
+		bv.NotInto(&v, v)
+		return v
 	case KXnor:
-		return in[0].Xor(in[1]).Not()
+		v := in[0].Xor(in[1])
+		bv.NotInto(&v, v)
+		return v
 	case KRedAnd:
 		return in[0].RedAnd()
 	case KRedOr:
@@ -102,7 +108,7 @@ func evalMux(in []bv.BV, width int) bv.BV {
 		return bv.NewX(width)
 	}
 	var out bv.BV
-	first := true
+	first, owned := true, false
 	for i, d := range data {
 		if !selCanBe(sel, uint64(i)) {
 			continue
@@ -110,7 +116,12 @@ func evalMux(in []bv.BV, width int) bv.BV {
 		if first {
 			out, first = d, false
 		} else {
-			out = out.Union(d)
+			if !owned {
+				// Widths > 64 share spill storage with the caller's value
+				// table; take ownership before mutating in place.
+				out, owned = out.Clone(), true
+			}
+			out.UnionInPlace(d)
 		}
 	}
 	if first {

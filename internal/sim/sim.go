@@ -19,6 +19,8 @@ type Simulator struct {
 	topo  []netlist.GateID
 	vals  []bv.BV
 	cycle int
+	inBuf []bv.BV // scratch gate-input buffer reused by Eval
+	ffBuf []bv.BV // scratch next-state buffer reused by Step
 }
 
 // New returns a simulator in the initial state. It fails if the
@@ -28,7 +30,13 @@ func New(n *netlist.Netlist) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{n: n, topo: topo}
+	maxArity := 0
+	for gi := range n.Gates {
+		if a := len(n.Gates[gi].In); a > maxArity {
+			maxArity = a
+		}
+	}
+	s := &Simulator{n: n, topo: topo, inBuf: make([]bv.BV, maxArity), ffBuf: make([]bv.BV, len(n.FFs))}
 	s.Reset()
 	return s, nil
 }
@@ -37,7 +45,9 @@ func New(n *netlist.Netlist) (*Simulator, error) {
 // inputs to all-x.
 func (s *Simulator) Reset() {
 	s.cycle = 0
-	s.vals = make([]bv.BV, s.n.NumSignals())
+	if s.vals == nil {
+		s.vals = make([]bv.BV, s.n.NumSignals())
+	}
 	for i := range s.vals {
 		s.vals[i] = bv.NewX(s.n.Signals[i].Width)
 	}
@@ -92,7 +102,7 @@ func (s *Simulator) SetInputName(name string, v bv.BV) error {
 func (s *Simulator) Eval() {
 	for _, gi := range s.topo {
 		g := &s.n.Gates[gi]
-		in := make([]bv.BV, len(g.In))
+		in := s.inBuf[:len(g.In)]
 		for k, id := range g.In {
 			in[k] = s.vals[id]
 		}
@@ -104,7 +114,7 @@ func (s *Simulator) Eval() {
 // flip-flop, completing one cycle.
 func (s *Simulator) Step() {
 	s.Eval()
-	next := make([]bv.BV, len(s.n.FFs))
+	next := s.ffBuf
 	for i, ff := range s.n.FFs {
 		next[i] = s.vals[s.n.Gates[ff].In[0]]
 	}
