@@ -100,10 +100,15 @@ func main() {
 			fatal(err)
 		}
 		res := c.Check(p)
-		fmt.Printf("%s: %v (depth %d, %d decisions, %d implications, %v, %.2f MB allocated, %.2f allocs/implication)\n",
+		fmt.Printf("%s: %v (depth %d, %d decisions, %d implications, %v, %.2f MB allocated, %.2f allocs/implication, %.2f allocs/decision)\n",
 			p.Name, res.Verdict, res.Depth, res.Stats.Decisions,
 			res.Stats.Implications, res.Elapsed.Round(100000), float64(res.AllocBytes)/1e6,
-			res.AllocsPerImpl)
+			res.AllocsPerImpl, res.AllocsPerDecision)
+		if res.Stats.FrontierScans > 0 {
+			fmt.Printf("  frontier: %d scans, %d gate checks, %d skipped (%.1f%% of a full-scan engine's work avoided)\n",
+				res.Stats.FrontierScans, res.Stats.FrontierChecks, res.Stats.FrontierSkips,
+				100*float64(res.Stats.FrontierSkips)/float64(res.Stats.FrontierChecks+res.Stats.FrontierSkips))
+		}
 		if res.Trace != nil {
 			fmt.Print(res.Trace.Format(nl))
 		}

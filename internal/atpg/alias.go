@@ -61,6 +61,9 @@ func (e *Engine) merge(fa int, a netlist.SignalID, fb int, b netlist.SignalID) b
 	if ra != rb {
 		e.ufParent[ra] = rb
 		e.ufTrail = append(e.ufTrail, ra)
+		// A union may flip identityTrit for comparators anywhere in the
+		// merged classes; put every comparator back on the frontier.
+		e.idEvent = true
 	}
 	// Cross-refine values so both sides share every known bit.
 	if !e.assign(fa, a, e.vals[fb][b]) {

@@ -46,7 +46,63 @@ func TestPropagateZeroAlloc(t *testing.T) {
 		e.popLevel()
 	}
 	pass()
+	if raceEnabled {
+		t.Log("race detector enabled: exercising the pass without pinning the alloc count")
+		pass()
+		return
+	}
 	if got := testing.AllocsPerRun(100, pass); got != 0 {
 		t.Errorf("full propagate pass: %.2f allocs/op on a single-word netlist, want 0", got)
+	}
+}
+
+// TestDecisionCycleZeroAlloc pins the PR 2 property of the search
+// layer: one steady-state decision cycle — incremental unjustified
+// frontier scan, probability-guided control decision (BFS with flat
+// accumulators, pooled decision node), application, propagation and
+// backtrack — performs zero heap allocations on a single-word design.
+func TestDecisionCycleZeroAlloc(t *testing.T) {
+	nl := netlist.New("deccycle")
+	in := make([]netlist.SignalID, 6)
+	for i := range in {
+		in[i] = nl.AddInput(string(rune('a'+i)), 1)
+	}
+	o1 := nl.Binary(netlist.KOr, in[0], in[1])
+	o2 := nl.Binary(netlist.KOr, o1, in[2])
+	a1 := nl.Binary(netlist.KAnd, in[3], in[4])
+	x1 := nl.Binary(netlist.KXor, a1, in[5])
+	top := nl.Binary(netlist.KAnd, o2, x1)
+
+	e, err := New(nl, 1, ModeProve, Limits{}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Require(0, top, bv.FromUint64(1, 1)) || !e.propagate() {
+		t.Fatal("setup conflicts")
+	}
+	cycle := func() {
+		unjust := e.unjustifiedGates()
+		if len(unjust) == 0 {
+			t.Fatal("nothing unjustified")
+		}
+		d := e.makeControlDecision(unjust)
+		if d == nil {
+			t.Fatal("no control decision")
+		}
+		e.pushLevel()
+		if !e.applyAlt(d.alts[0]) || !e.propagate() {
+			t.Fatal("decision conflicts")
+		}
+		e.popLevel()
+		e.putDecision(d)
+	}
+	cycle() // warm up pooled scratch
+	if raceEnabled {
+		t.Log("race detector enabled: exercising the cycle without pinning the alloc count")
+		cycle()
+		return
+	}
+	if got := testing.AllocsPerRun(100, cycle); got != 0 {
+		t.Errorf("decision cycle: %.2f allocs/op on a single-word netlist, want 0", got)
 	}
 }

@@ -19,12 +19,13 @@ import (
 // ATPG), and a non-nil decision for nonlinear enumeration.
 func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *decision) {
 	e.stats.ArithCalls++
-	var arith []gateAt
+	arith := e.dpArith[:0]
 	for _, u := range unjust {
 		if e.nl.Gates[u.gate].Kind.IsArith() {
 			arith = append(arith, u)
 		}
 	}
+	e.dpArith = arith[:0]
 	if len(arith) == 0 {
 		return false, false, nil
 	}
@@ -73,38 +74,59 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 				{f, g.In[1], bv.FromUint64(w, cd.B)},
 			}}
 		}
-		return false, false, &decision{alts: alts}
+		d := e.getDecision()
+		d.alts = alts
+		return false, false, d
 	}
 
-	// Linear system extraction.
-	type varKey = sigAt
-	varIdx := map[varKey]int{}
-	var varList []varKey
+	// Linear system extraction. The variable index map, the variable
+	// list, the sparse term storage, the equation list, the linsolve
+	// system (Reset below) and its solve workspace are all engine
+	// scratch reused across calls — the solution set returned by
+	// SolveInto aliases e.dpWS and is consumed before this function
+	// returns.
+	if e.dpVarIdx == nil {
+		e.dpVarIdx = make(map[sigAt]int32)
+	} else {
+		clear(e.dpVarIdx)
+	}
+	varList := e.dpVarList[:0]
+	e.dpTerms = e.dpTerms[:0]
+	e.dpEqs = e.dpEqs[:0]
 	maxW := 1
-	getVar := func(f int, s netlist.SignalID) (int, bool) {
+	getVar := func(f int, s netlist.SignalID) (int32, bool) {
 		w := e.nl.Width(s)
 		if w > 64 {
 			return 0, false
 		}
-		k := varKey{int32(f), s}
-		if i, ok := varIdx[k]; ok {
+		k := sigAt{int32(f), s}
+		if i, ok := e.dpVarIdx[k]; ok {
 			return i, true
 		}
-		varIdx[k] = len(varList)
+		i := int32(len(varList))
+		e.dpVarIdx[k] = i
 		varList = append(varList, k)
 		if w > maxW {
 			maxW = w
 		}
-		return len(varList) - 1, true
+		return i, true
 	}
-	type eq struct {
-		terms map[int]uint64 // var -> coefficient
-		rhs   uint64
-		width int
+	// Equations are built as spans of e.dpTerms: beginEq marks the span
+	// start, accTerm accumulates a coefficient into the open span (a
+	// gate whose operands alias the same variable — e.g. q - q — must
+	// sum its coefficients, not overwrite them), endEq seals it.
+	beginEq := func() int32 { return int32(len(e.dpTerms)) }
+	accTerm := func(off int32, v int32, c, mask uint64) {
+		for i := off; i < int32(len(e.dpTerms)); i++ {
+			if e.dpTerms[i].v == v {
+				e.dpTerms[i].c = (e.dpTerms[i].c + c) & mask
+				return
+			}
+		}
+		e.dpTerms = append(e.dpTerms, dpTerm{v: v, c: c & mask})
 	}
-	var eqs []eq
-	addEq := func(width int, rhs uint64, terms map[int]uint64) {
-		eqs = append(eqs, eq{terms: terms, rhs: rhs, width: width})
+	endEq := func(off int32, width int, rhs uint64) {
+		e.dpEqs = append(e.dpEqs, dpEq{off: off, n: int32(len(e.dpTerms)) - off, width: int32(width), rhs: rhs})
 	}
 	handled := false
 	for _, u := range arith {
@@ -114,13 +136,8 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 		if w > 64 {
 			continue // fallback decisions cover wide arithmetic
 		}
-		neg := func(c uint64) uint64 { return (-c) & maskW(w) }
-		// acc accumulates coefficients: a gate whose operands alias the
-		// same variable (e.g. q - q) must sum its coefficients, not
-		// overwrite them.
-		acc := func(m map[int]uint64, v int, c uint64) {
-			m[v] = (m[v] + c) & maskW(w)
-		}
+		mask := maskW(w)
+		neg := func(c uint64) uint64 { return (-c) & mask }
 		switch g.Kind {
 		case netlist.KAdd, netlist.KSub:
 			va, okA := getVar(f, g.In[0])
@@ -133,11 +150,11 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 			if g.Kind == netlist.KSub {
 				cb = neg(1)
 			}
-			terms := map[int]uint64{}
-			acc(terms, va, 1)
-			acc(terms, vb, cb)
-			acc(terms, vo, neg(1))
-			addEq(w, 0, terms)
+			off := beginEq()
+			accTerm(off, va, 1, mask)
+			accTerm(off, vb, cb, mask)
+			accTerm(off, vo, neg(1), mask)
+			endEq(off, w, 0)
 			handled = true
 		case netlist.KMul:
 			a, b := e.vals[f][g.In[0]], e.vals[f][g.In[1]]
@@ -155,10 +172,10 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 			if !okX || !okO {
 				continue
 			}
-			terms := map[int]uint64{}
-			acc(terms, vx, kc)
-			acc(terms, vo, neg(1))
-			addEq(w, 0, terms)
+			off := beginEq()
+			accTerm(off, vx, kc, mask)
+			accTerm(off, vo, neg(1), mask)
+			endEq(off, w, 0)
 			handled = true
 		case netlist.KShl:
 			amt, ok := e.vals[f][g.In[1]].Uint64()
@@ -170,41 +187,62 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 			if !okX || !okO {
 				continue
 			}
-			terms := map[int]uint64{}
-			acc(terms, vx, uint64(1)<<amt)
-			acc(terms, vo, neg(1))
-			addEq(w, 0, terms)
+			off := beginEq()
+			accTerm(off, vx, uint64(1)<<amt, mask)
+			accTerm(off, vo, neg(1), mask)
+			endEq(off, w, 0)
 			handled = true
 		default:
 			// Beyond the linear solver; the fallback decisions in the
 			// main search loop cover these completely.
 		}
 	}
+	e.dpVarList = varList[:0]
 	if !handled {
 		return false, false, nil
 	}
 	// Anchors: fully-known variables pin to constants; partially-known
 	// ones become cube constraints for the consistency search.
-	cubes := make([]bv.BV, len(varList))
+	if cap(e.dpCubes) < len(varList) {
+		e.dpCubes = make([]bv.BV, len(varList))
+	}
+	cubes := e.dpCubes[:len(varList)]
+	for i := range cubes {
+		cubes[i] = bv.BV{}
+	}
 	for i, k := range varList {
 		v := e.vals[k.frame][k.sig]
 		if val, ok := v.Uint64(); ok {
-			addEq(v.Width(), val, map[int]uint64{i: 1})
+			off := beginEq()
+			accTerm(off, int32(i), 1, maskW(v.Width()))
+			endEq(off, v.Width(), val)
 		} else if !v.IsAllX() {
 			cubes[i] = v
 		}
 	}
-	sys := linsolve.NewSystem(maxW, len(varList))
-	for _, q := range eqs {
-		coeffs := make([]uint64, len(varList))
-		for vi, c := range q.terms {
-			coeffs[vi] = c
+	if e.dpSys == nil {
+		e.dpSys = linsolve.NewSystem(maxW, len(varList))
+	} else {
+		e.dpSys.Reset(maxW, len(varList))
+	}
+	sys := e.dpSys
+	if cap(e.dpCoeffs) < len(varList) {
+		e.dpCoeffs = make([]uint64, len(varList))
+	}
+	coeffs := e.dpCoeffs[:len(varList)]
+	for _, q := range e.dpEqs {
+		for i := range coeffs {
+			coeffs[i] = 0
 		}
-		if err := sys.AddEquation(coeffs, q.rhs, q.width); err != nil {
+		for _, t := range e.dpTerms[q.off : q.off+q.n] {
+			coeffs[t.v] = t.c
+		}
+		// AddEquation copies the row, so the dense scratch is reusable.
+		if err := sys.AddEquation(coeffs, q.rhs, int(q.width)); err != nil {
 			return false, false, nil
 		}
 	}
-	ss := sys.Solve()
+	ss := sys.SolveInto(&e.dpWS)
 	if !ss.Feasible {
 		return false, true, nil
 	}
@@ -251,7 +289,9 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 		if len(alts) == 0 {
 			return false, true, nil // exhaustive: genuinely infeasible
 		}
-		return false, false, &decision{alts: alts}
+		d := e.getDecision()
+		d.alts = alts
+		return false, false, d
 	default:
 		// Feasible with a large solution set: the solve contributed its
 		// pruning; leave value selection to further implication and

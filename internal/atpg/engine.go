@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bv"
 	"repro/internal/estg"
+	"repro/internal/linsolve"
 	"repro/internal/netlist"
 )
 
@@ -64,6 +65,16 @@ type Stats struct {
 	Implications int
 	ArithCalls   int // modular arithmetic solver invocations
 	MaxTrail     int
+	// Frontier effectiveness counters: FrontierScans counts
+	// unjustified-scan rounds, FrontierChecks the gate instances whose
+	// justification status was actually re-evaluated across them, and
+	// FrontierSkips the instances the incremental frontier proved
+	// unnecessary to re-check (what a full frames×gates scan would have
+	// evaluated on top). FrontierChecks/FrontierScans near the full
+	// instance count means the frontier is degenerating to full scans.
+	FrontierScans  int
+	FrontierChecks int
+	FrontierSkips  int
 }
 
 // Status is the outcome of a Solve call.
@@ -126,15 +137,91 @@ type Engine struct {
 	// inBuf is the scratch input-cube buffer shared by implyGate and
 	// unjustified (never used re-entrantly).
 	inBuf []bv.BV
-	// unjustBuf is the scratch result buffer of unjustifiedGates.
+	// unjustBuf holds the result of the last unjustifiedGates scan; the
+	// frontier re-checks exactly these instances plus the dirty set.
 	unjustBuf []gateAt
+
+	// Incremental justification frontier. A gate instance's
+	// justification status depends only on the cubes of its output and
+	// inputs at its own frame plus the structural-identity state, so it
+	// can flip only when one of those changes. dirtyStamp/dirtyList
+	// collect the instances adjacent to every signal refined since the
+	// last scan (same generation-stamp idiom as the propagation queue);
+	// popLevel re-marks the instances adjacent to every restored signal,
+	// so backtracking re-dirties exactly what it may have flipped back.
+	dirtyStamp []uint32 // frame*numGates+gate == dirtyGen iff marked
+	dirtyGen   uint32
+	dirtyList  []gateAt
+	scanBuf    []gateAt // candidate scratch of unjustifiedGates
+	// idEvent records that a structural identity was merged or un-merged
+	// since the last scan: identityTrit may then have flipped for any
+	// comparator, so all comparator instances rejoin the frontier.
+	idEvent  bool
+	cmpGates []netlist.GateID
+
+	// Decision scratch (pooled so makeControlDecision allocates
+	// nothing): flat probability accumulators and visited stamps indexed
+	// frame*numSignals+sig, the BFS work queue, the candidate list and a
+	// free list of decision nodes recycled as the search pops them.
+	probSum    []float64
+	probCnt    []int32
+	probStamp  []uint32 // probSum/probCnt entry valid iff == cdGen
+	visitStamp []uint32
+	cdGen      uint32
+	cdQueue    []sigAt
+	cdQHead    int
+	cdCands    []candidate
+	decFree    []*decision
+	decStack   []*decision
+	domVals    []uint64
+
+	// datapathPhase scratch: sparse equation terms in one backing array,
+	// the variable index map (cleared, never reallocated), the dense
+	// coefficient row handed to linsolve (which copies it), and the
+	// pooled linear system plus its solve workspace.
+	dpArith   []gateAt
+	dpVarIdx  map[sigAt]int32
+	dpVarList []sigAt
+	dpTerms   []dpTerm
+	dpEqs     []dpEq
+	dpCubes   []bv.BV
+	dpCoeffs  []uint64
+	dpSys     *linsolve.System
+	dpWS      linsolve.Workspace
+
+	// muxFeasible is implyMuxBack's feasible-select scratch.
+	muxFeasible []uint64
+
+	// stateKey scratch: the per-frame control cube is built into keyBuf
+	// and interned, so recording conflict states allocates only the
+	// first time a distinct abstract state appears.
+	keyBuf    []byte
+	internTab map[string]string
 
 	// domains restricts feasible values of selected signals (local FSM
 	// reachable sets, §6); checked whenever a value becomes fully known.
 	domains map[netlist.SignalID]Domain
+	// domainOrder keeps the registered domain signals sorted so domain
+	// iteration (and therefore domain decisions) is deterministic.
+	domainOrder []netlist.SignalID
 
 	// controlFFs lists 1-bit flip-flops (abstract state variables).
 	controlFFs []netlist.GateID
+}
+
+// dpTerm is one sparse coefficient of a datapath equation.
+type dpTerm struct {
+	v int32
+	c uint64
+}
+
+// dpEq is one equation: terms dpTerms[off:off+n], right-hand side and
+// modulus width.
+type dpEq struct {
+	off   int32
+	n     int32
+	width int32
+	rhs   uint64
 }
 
 type trailEntry struct {
@@ -192,15 +279,54 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 		}
 	}
 	e.inBuf = make([]bv.BV, maxArity)
-	e.queuedStamp = make([]uint32, frames*nGates)
+	// The generation-stamp arrays and the gate-instance work lists share
+	// one backing allocation each (full-slice expressions keep appends
+	// from bleeding across); the decision-BFS accumulators are allocated
+	// lazily on the first control decision, so propagate-only engines
+	// (implication probes, SuccessorSet) never pay for them.
+	nInst := frames * nGates
+	stampBacking := make([]uint32, 2*nInst)
+	e.queuedStamp = stampBacking[:nInst:nInst]
+	e.dirtyStamp = stampBacking[nInst:]
+	gateBacking := make([]gateAt, 3*nInst)
+	e.queue = gateBacking[0:0:nInst]
+	e.dirtyList = gateBacking[nInst : nInst : 2*nInst]
+	e.scanBuf = gateBacking[2*nInst : 2*nInst : 3*nInst]
 	e.queueGen = 1
-	e.queue = make([]gateAt, 0, frames*nGates)
+	e.dirtyGen = 1
+	e.cdGen = 1
 	e.trail = make([]trailEntry, 0, frames*nSigs)
+	nCmp := 0
+	for gi := range nl.Gates {
+		if nl.Gates[gi].Kind.IsComparator() {
+			nCmp++
+		}
+	}
+	if nCmp > 0 {
+		e.cmpGates = make([]netlist.GateID, 0, nCmp)
+		for gi := range nl.Gates {
+			if nl.Gates[gi].Kind.IsComparator() {
+				e.cmpGates = append(e.cmpGates, netlist.GateID(gi))
+			}
+		}
+	}
+	if store != nil {
+		e.internTab = make(map[string]string)
+	}
 	for f := range e.vals {
 		e.vals[f] = backing[f*nSigs : (f+1)*nSigs : (f+1)*nSigs]
 		for s := range e.vals[f] {
 			e.vals[f][s] = bv.NewX(nl.Signals[s].Width)
 		}
+	}
+	nCtl := 0
+	for _, ff := range nl.FFs {
+		if nl.Width(nl.Gates[ff].Out) == 1 {
+			nCtl++
+		}
+	}
+	if nCtl > 0 {
+		e.controlFFs = make([]netlist.GateID, 0, nCtl)
 	}
 	for _, ff := range nl.FFs {
 		g := &nl.Gates[ff]
@@ -296,6 +422,21 @@ func (e *Engine) AddDomain(d Domain) {
 	if e.domains == nil {
 		e.domains = map[netlist.SignalID]Domain{}
 	}
+	if _, exists := e.domains[d.Sig]; !exists {
+		// Keep the iteration order sorted by SignalID so EachDomain (and
+		// therefore makeDomainDecision's tie-breaking between domains
+		// with equally many feasible values) is deterministic.
+		pos := len(e.domainOrder)
+		for i, s := range e.domainOrder {
+			if d.Sig < s {
+				pos = i
+				break
+			}
+		}
+		e.domainOrder = append(e.domainOrder, 0)
+		copy(e.domainOrder[pos+1:], e.domainOrder[pos:])
+		e.domainOrder[pos] = d.Sig
+	}
 	e.domains[d.Sig] = d
 }
 
@@ -345,7 +486,36 @@ func (e *Engine) assign(frame int, sig netlist.SignalID, val bv.BV) bool {
 	}
 	e.vals[frame][sig] = merged
 	e.enqueueAround(frame, sig)
+	e.markDirtyAround(frame, sig)
 	return true
+}
+
+// markDirty adds a gate instance to the justification frontier.
+// Flip-flops are skipped: they justify exactly across frames and can
+// never appear in an unjustified scan.
+func (e *Engine) markDirty(frame int, g netlist.GateID) {
+	if e.nl.Gates[g].Kind == netlist.KDff {
+		return
+	}
+	idx := frame*e.nl.NumGates() + int(g)
+	if e.dirtyStamp[idx] == e.dirtyGen {
+		return
+	}
+	e.dirtyStamp[idx] = e.dirtyGen
+	e.dirtyList = append(e.dirtyList, gateAt{int32(frame), g})
+}
+
+// markDirtyAround marks the driver and fanout gates of a signal whose
+// cube just changed (by refinement or by backtracking restore): those
+// are exactly the instances whose justification status reads the cube.
+func (e *Engine) markDirtyAround(frame int, sig netlist.SignalID) {
+	s := &e.nl.Signals[sig]
+	if s.Driver != netlist.None {
+		e.markDirty(frame, s.Driver)
+	}
+	for _, g := range s.Fanout {
+		e.markDirty(frame, g)
+	}
 }
 
 // enqueueAround schedules the driver and fanout gates of a changed
@@ -448,10 +618,15 @@ func (e *Engine) popLevel() {
 	for i := len(e.trail) - 1; i >= mark; i-- {
 		t := e.trail[i]
 		e.vals[t.frame][t.sig] = t.prev
+		e.markDirtyAround(int(t.frame), t.sig)
 	}
 	e.trail = e.trail[:mark]
 	ufMark := e.ufMarks[len(e.ufMarks)-1]
 	e.ufMarks = e.ufMarks[:len(e.ufMarks)-1]
+	if len(e.ufTrail) > ufMark {
+		// Un-merging may flip identityTrit for any comparator.
+		e.idEvent = true
+	}
 	for i := len(e.ufTrail) - 1; i >= ufMark; i-- {
 		r := e.ufTrail[i]
 		e.ufParent[r] = r
@@ -465,14 +640,27 @@ func (e *Engine) popLevel() {
 func (e *Engine) level() int { return len(e.levelMarks) }
 
 // stateKey returns the abstract control state (1-bit flip-flop cube) at
-// a frame, for the extended state transition graph.
+// a frame, for the extended state transition graph. The key is built in
+// a reusable byte scratch and interned: each distinct abstract state is
+// materialized as a string once, and every later occurrence (conflict
+// recording runs on every backtrack) returns the interned copy without
+// allocating.
 func (e *Engine) stateKey(frame int) string {
-	buf := make([]byte, 0, len(e.controlFFs))
+	buf := e.keyBuf[:0]
 	for _, ff := range e.controlFFs {
 		out := e.nl.Gates[ff].Out
 		buf = append(buf, byte('0'+uint8(e.vals[frame][out].Bit(0))))
 	}
-	return string(buf)
+	e.keyBuf = buf
+	if s, ok := e.internTab[string(buf)]; ok {
+		return s
+	}
+	s := string(buf)
+	if e.internTab == nil {
+		e.internTab = make(map[string]string)
+	}
+	e.internTab[s] = s
+	return s
 }
 
 // timedOut reports whether the deadline passed.

@@ -1,0 +1,149 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+)
+
+// buildFrontierNetlist returns a netlist mixing control logic (1-bit
+// gates, muxes), comparators (whose justification status additionally
+// depends on structural identity) and datapath arithmetic, with
+// registers so multi-frame engines exercise the cross-frame links.
+func buildFrontierNetlist() *netlist.Netlist {
+	nl := netlist.New("frontier")
+	a := nl.AddInput("a", 8)
+	b := nl.AddInput("b", 8)
+	c := nl.AddInput("c", 8)
+	sel := nl.AddInput("sel", 1)
+	en := nl.AddInput("en", 1)
+
+	sum := nl.Binary(netlist.KAdd, a, b)
+	diff := nl.Binary(netlist.KSub, sum, c)
+	m := nl.Mux(sel, a, diff)
+	eqAB := nl.Binary(netlist.KEq, a, b)
+	neMC := nl.Binary(netlist.KNe, m, c)
+	gt := nl.Binary(netlist.KGt, sum, c)
+	ctl := nl.Binary(netlist.KAnd, eqAB, en)
+	ctl2 := nl.Binary(netlist.KOr, ctl, gt)
+	_ = nl.Binary(netlist.KXor, ctl2, neMC)
+
+	q := nl.Dff(diff, bv.FromUint64(8, 0), "q")
+	qe := nl.Binary(netlist.KEq, q, a)
+	_ = nl.Binary(netlist.KAnd, qe, sel)
+	red := nl.Unary(netlist.KRedOr, diff)
+	_ = nl.Binary(netlist.KOr, red, en)
+	return nl
+}
+
+// gateAtsEqual compares two (frame, gate) lists element-wise.
+func gateAtsEqual(a, b []gateAt) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrontierMatchesFullScan is the tentpole invariant: at every point
+// of a randomized assign/propagate/backtrack schedule, the incremental
+// justification frontier must return exactly what a full frames×gates
+// scan returns, in the same order. The schedule deliberately includes
+// conflicting assignments (dirty queues at backtrack), identity merges
+// (satisfied equalities, muxes with known selects) and multi-level
+// pops.
+func TestFrontierMatchesFullScan(t *testing.T) {
+	nl := buildFrontierNetlist()
+	for _, frames := range []int{1, 3} {
+		e, err := New(nl, frames, ModeProve, Limits{}, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(12345))
+		if !e.propagate() {
+			t.Fatal("initial propagation conflicts")
+		}
+		check := func(step int) {
+			got := e.unjustifiedGates()
+			want := e.fullUnjustifiedScan()
+			if !gateAtsEqual(got, want) {
+				t.Fatalf("frames=%d step %d: frontier %v != full scan %v", frames, step, got, want)
+			}
+		}
+		check(-1)
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // decide: refine a random bit of a random signal
+				f := rng.Intn(frames)
+				sig := netlist.SignalID(rng.Intn(nl.NumSignals()))
+				v := e.vals[f][sig]
+				i := rng.Intn(v.Width())
+				if v.Bit(i) != bv.X {
+					continue
+				}
+				tr := bv.Zero
+				if rng.Intn(2) == 1 {
+					tr = bv.One
+				}
+				e.pushLevel()
+				if !e.assign(f, sig, bv.NewX(v.Width()).WithBit(i, tr)) || !e.propagate() {
+					e.popLevel()
+				}
+			case op < 8: // backtrack one level
+				if e.level() > 0 {
+					e.popLevel()
+				}
+			default: // backtrack several levels at once
+				for n := rng.Intn(3); n > 0 && e.level() > 0; n-- {
+					e.popLevel()
+				}
+			}
+			check(step)
+		}
+	}
+}
+
+// TestFrontierCountersReported pins that a Solve populates the frontier
+// counters and that the incremental scan does strictly less work than
+// the full-scan engine would have (FrontierSkips > 0 on any non-trivial
+// search).
+func TestFrontierCountersReported(t *testing.T) {
+	nl := buildFrontierNetlist()
+	e, err := New(nl, 3, ModeProve, Limits{}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Require a 1-bit gate output deep in the control cone to force a
+	// search with decisions and backtracking.
+	var sig netlist.SignalID = netlist.None
+	for gi := len(nl.Gates) - 1; gi >= 0; gi-- {
+		if nl.Gates[gi].Kind == netlist.KXor && nl.Width(nl.Gates[gi].Out) == 1 {
+			sig = nl.Gates[gi].Out
+			break
+		}
+	}
+	if sig == netlist.None {
+		t.Fatal("no 1-bit xor gate found")
+	}
+	if !e.Require(2, sig, bv.FromUint64(1, 1)) {
+		t.Fatal("require conflicts")
+	}
+	e.Solve()
+	st := e.Stats()
+	if st.FrontierScans == 0 || st.FrontierChecks == 0 {
+		t.Fatalf("frontier counters not populated: %+v", st)
+	}
+	if st.FrontierSkips <= 0 {
+		t.Fatalf("frontier skipped nothing: %+v", st)
+	}
+	full := st.FrontierScans * 3 * nl.NumGates()
+	if st.FrontierChecks+st.FrontierSkips != full {
+		t.Fatalf("checks+skips = %d, want frames×gates×scans = %d", st.FrontierChecks+st.FrontierSkips, full)
+	}
+}

@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"slices"
+
 	"repro/internal/bv"
 	"repro/internal/modarith"
 	"repro/internal/netlist"
@@ -437,8 +439,8 @@ func (e *Engine) implyMuxBack(frame int, g *netlist.Gate, out bv.BV) bool {
 	if sel.Width() > 16 {
 		return true
 	}
-	// Collect feasible select values.
-	var feasible []uint64
+	// Collect feasible select values (pooled scratch).
+	feasible := e.muxFeasible[:0]
 	max := sel.MaxUint64()
 	for v := sel.MinUint64(); v <= max; v++ {
 		if !sel.Contains(v) {
@@ -455,6 +457,7 @@ func (e *Engine) implyMuxBack(frame int, g *netlist.Gate, out bv.BV) bool {
 			break
 		}
 	}
+	e.muxFeasible = feasible[:0]
 	if len(feasible) == 0 {
 		return false
 	}
@@ -506,10 +509,68 @@ func (e *Engine) unjustified(frame int, gid netlist.GateID) bool {
 	return false
 }
 
-// unjustifiedGates scans all frames for unjustified gate instances.
-// The returned slice aliases a scratch buffer valid until the next call.
+// unjustifiedGates returns the unjustified gate instances across all
+// frames, sorted by (frame, gate) — the same order a full scan would
+// produce, so decision seeding is unchanged. It is incremental: only
+// the instances marked dirty since the last scan (signal refined or
+// restored in their neighbourhood, or any identity change for
+// comparators) plus the instances unjustified last round are
+// re-evaluated; everything else provably kept its status. The returned
+// slice aliases a scratch buffer valid until the next call.
 func (e *Engine) unjustifiedGates() []gateAt {
+	cand := e.scanBuf[:0]
+	cand = append(cand, e.dirtyList...)
+	if e.idEvent {
+		for f := 0; f < e.frames; f++ {
+			for _, g := range e.cmpGates {
+				cand = append(cand, gateAt{int32(f), g})
+			}
+		}
+	}
+	cand = append(cand, e.unjustBuf...)
+	slices.SortFunc(cand, func(a, b gateAt) int {
+		if a.frame != b.frame {
+			return int(a.frame) - int(b.frame)
+		}
+		return int(a.gate) - int(b.gate)
+	})
 	out := e.unjustBuf[:0]
+	prev := gateAt{frame: -1}
+	checked := 0
+	for _, c := range cand {
+		if c == prev {
+			continue
+		}
+		prev = c
+		checked++
+		if e.unjustified(int(c.frame), c.gate) {
+			out = append(out, c)
+		}
+	}
+	e.stats.FrontierScans++
+	e.stats.FrontierChecks += checked
+	e.stats.FrontierSkips += e.frames*e.nl.NumGates() - checked
+	e.scanBuf = cand[:0]
+	e.unjustBuf = out
+	// Reset the dirty set: a generation bump invalidates every stamp at
+	// once; the rare uint32 wrap falls back to zeroing the array.
+	e.dirtyList = e.dirtyList[:0]
+	e.dirtyGen++
+	if e.dirtyGen == 0 {
+		for i := range e.dirtyStamp {
+			e.dirtyStamp[i] = 0
+		}
+		e.dirtyGen = 1
+	}
+	e.idEvent = false
+	return out
+}
+
+// fullUnjustifiedScan is the reference O(frames×gates) scan the
+// frontier replaces; tests cross-check the incremental result against
+// it. It does not touch frontier state.
+func (e *Engine) fullUnjustifiedScan() []gateAt {
+	var out []gateAt
 	for f := 0; f < e.frames; f++ {
 		for gi := range e.nl.Gates {
 			if e.unjustified(f, netlist.GateID(gi)) {
@@ -517,6 +578,5 @@ func (e *Engine) unjustifiedGates() []gateAt {
 			}
 		}
 	}
-	e.unjustBuf = out
 	return out
 }

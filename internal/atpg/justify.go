@@ -2,7 +2,7 @@ package atpg
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/bv"
@@ -19,6 +19,42 @@ type alternative struct {
 type decision struct {
 	alts []alternative
 	idx  int
+	// Inline storage for the ubiquitous two-alternative single-
+	// requirement decisions (control and fallback branches), so pooled
+	// decisions allocate nothing.
+	altArr [2]alternative
+	reqArr [2]requirement
+}
+
+// getDecision returns a reset decision shell from the engine's free
+// list (or a fresh one).
+func (e *Engine) getDecision() *decision {
+	if n := len(e.decFree); n > 0 {
+		d := e.decFree[n-1]
+		e.decFree = e.decFree[:n-1]
+		d.idx = 0
+		d.alts = nil
+		return d
+	}
+	return &decision{}
+}
+
+// putDecision recycles a decision the search has popped.
+func (e *Engine) putDecision(d *decision) {
+	d.alts = nil // drop any out-of-line alternatives for the collector
+	e.decFree = append(e.decFree, d)
+}
+
+// binaryDecision builds a pooled decision over one signal instance with
+// the two given values tried in order.
+func (e *Engine) binaryDecision(frame int, sig netlist.SignalID, first, second bv.BV) *decision {
+	d := e.getDecision()
+	d.reqArr[0] = requirement{frame, sig, first}
+	d.reqArr[1] = requirement{frame, sig, second}
+	d.altArr[0] = alternative{asg: d.reqArr[0:1:1]}
+	d.altArr[1] = alternative{asg: d.reqArr[1:2:2]}
+	d.alts = d.altArr[:2]
+	return d
 }
 
 // Solve runs the two-phase constraint solving of Fig. 1 / Fig. 2:
@@ -30,7 +66,8 @@ func (e *Engine) Solve() Status {
 		e.deadline = time.Now().Add(e.limits.Timeout)
 	}
 	e.incomplete = false
-	var stack []*decision
+	stack := e.decStack[:0]
+	defer func() { e.decStack = stack[:0] }()
 
 	backtrack := func() bool {
 		for len(stack) > 0 {
@@ -47,6 +84,7 @@ func (e *Engine) Solve() Status {
 				continue
 			}
 			stack = stack[:len(stack)-1]
+			e.putDecision(d)
 		}
 		return false
 	}
@@ -219,26 +257,56 @@ func (c candidate) biasValue() bv.Trit {
 	return bv.Zero
 }
 
+// cdPush accumulates a legal-1 probability sample for a signal instance
+// and queues it for BFS classification. The accumulators are flat
+// arrays indexed frame*numSignals+sig, validated by a generation stamp
+// so starting a new decision never clears them.
+func (e *Engine) cdPush(at sigAt, p1 float64) {
+	idx := int(at.frame)*e.nl.NumSignals() + int(at.sig)
+	if e.probStamp[idx] != e.cdGen {
+		e.probStamp[idx] = e.cdGen
+		e.probSum[idx] = p1
+		e.probCnt[idx] = 1
+	} else {
+		e.probSum[idx] += p1
+		e.probCnt[idx]++
+	}
+	e.cdQueue = append(e.cdQueue, at)
+}
+
 // makeControlDecision finds the decision-point cut backward from the
 // unjustified control-class gates (§3.2): breadth-first traversal
 // stopping at control PIs, flip-flops, comparator outputs and
 // multiple-fanout internal gates, with legal-1 probabilities computed
 // along the way (Rules 3–5). Returns nil when no control decision is
-// available (datapath-only residue).
+// available (datapath-only residue). All scratch state (probability
+// accumulators, work queue, candidate list, the returned decision) is
+// pooled on the engine; a call performs no heap allocation.
 func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
+	nSigs := e.nl.NumSignals()
+	if e.probStamp == nil {
+		// First control decision of this engine: allocate the flat
+		// accumulators (stamps share one backing; the full-slice
+		// expression keeps them from aliasing).
+		n := e.frames * nSigs
+		sb := make([]uint32, 2*n)
+		e.probStamp = sb[:n:n]
+		e.visitStamp = sb[n:]
+		e.probSum = make([]float64, n)
+		e.probCnt = make([]int32, n)
+	}
+	e.cdGen++
+	if e.cdGen == 0 {
+		for i := range e.probStamp {
+			e.probStamp[i] = 0
+			e.visitStamp[i] = 0
+		}
+		e.cdGen = 1
+	}
+	e.cdQueue = e.cdQueue[:0]
+	e.cdQHead = 0
+	e.cdCands = e.cdCands[:0]
 	// Seed the backward traversal from non-arithmetic unjustified gates.
-	type workItem struct {
-		at sigAt
-		p1 float64
-	}
-	var queue []workItem
-	probSum := map[sigAt]float64{}
-	probCnt := map[sigAt]int{}
-	push := func(at sigAt, p1 float64) {
-		probSum[at] += p1
-		probCnt[at]++
-		queue = append(queue, workItem{at, p1})
-	}
 	for _, u := range unjust {
 		g := &e.nl.Gates[u.gate]
 		if g.Kind.IsArith() {
@@ -253,19 +321,18 @@ func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
 				pOut = 0.0
 			}
 		}
-		e.seedGateInputs(u, g, pOut, push)
+		e.seedGateInputs(u, g, pOut)
 	}
 	// BFS with per-signal classification.
-	var cands []candidate
-	visited := map[sigAt]bool{}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		if visited[it.at] {
+	for e.cdQHead < len(e.cdQueue) {
+		at := e.cdQueue[e.cdQHead]
+		e.cdQHead++
+		idx := int(at.frame)*nSigs + int(at.sig)
+		if e.visitStamp[idx] == e.cdGen {
 			continue
 		}
-		visited[it.at] = true
-		f, s := int(it.at.frame), it.at.sig
+		e.visitStamp[idx] = e.cdGen
+		f, s := int(at.frame), at.sig
 		v := e.vals[f][s]
 		sig := &e.nl.Signals[s]
 		w := sig.Width
@@ -273,71 +340,82 @@ func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
 		if !hasX {
 			continue // already determined
 		}
-		p1 := probSum[it.at] / float64(probCnt[it.at])
+		p1 := e.probSum[idx] / float64(e.probCnt[idx])
 		drv := sig.Driver
 		isCtl := w == 1
 		switch {
 		case drv == netlist.None:
 			if isCtl {
-				cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+				e.cdCands = append(e.cdCands, candidate{at, p1, len(sig.Fanout)})
 			}
 			// Datapath PIs are free; no decision needed.
 		case e.nl.Gates[drv].Kind == netlist.KDff:
 			if f > 0 {
 				// Traverse through the register to the previous frame.
-				push(sigAt{int32(f - 1), e.nl.Gates[drv].In[0]}, p1)
+				e.cdPush(sigAt{int32(f - 1), e.nl.Gates[drv].In[0]}, p1)
 			} else if isCtl {
 				// Uninitialized control state bit at frame 0.
-				cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+				e.cdCands = append(e.cdCands, candidate{at, p1, len(sig.Fanout)})
 			}
 		case e.nl.Gates[drv].Kind.IsComparator():
 			if isCtl {
-				cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+				e.cdCands = append(e.cdCands, candidate{at, p1, len(sig.Fanout)})
 			}
 		case e.nl.Gates[drv].Kind.IsArith():
 			// Stop: datapath territory.
 		case isCtl && len(sig.Fanout) > 1:
-			cands = append(cands, candidate{it.at, p1, len(sig.Fanout)})
+			e.cdCands = append(e.cdCands, candidate{at, p1, len(sig.Fanout)})
 		default:
 			// Descend into the driver gate.
 			g := &e.nl.Gates[drv]
-			e.seedGateInputs(gateAt{int32(f), drv}, g, p1, push)
+			e.seedGateInputs(gateAt{int32(f), drv}, g, p1)
 		}
 	}
+	cands := e.cdCands
 	if len(cands) == 0 {
 		return nil
 	}
 	// If the candidate list is large, keep the highest-fanout subset
 	// (§3.2: "a subset of them is selected as the decision nodes").
+	// Ties broken by (frame, sig) so the subset is deterministic.
 	const maxCands = 64
 	if len(cands) > maxCands {
-		sort.Slice(cands, func(i, j int) bool { return cands[i].fanout > cands[j].fanout })
+		slices.SortFunc(cands, func(a, b candidate) int {
+			if a.fanout != b.fanout {
+				return b.fanout - a.fanout
+			}
+			if a.at.frame != b.at.frame {
+				return int(a.at.frame) - int(b.at.frame)
+			}
+			return int(a.at.sig) - int(b.at.sig)
+		})
 		cands = cands[:maxCands]
 	}
 	// Highest bias first (Definition 2). The ablation mode keeps a
 	// deterministic structural order with fixed polarity instead.
 	if e.features.NoProbabilityOrder {
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].at.frame != cands[j].at.frame {
-				return cands[i].at.frame < cands[j].at.frame
+		slices.SortFunc(cands, func(a, b candidate) int {
+			if a.at.frame != b.at.frame {
+				return int(a.at.frame) - int(b.at.frame)
 			}
-			return cands[i].at.sig < cands[j].at.sig
+			return int(a.at.sig) - int(b.at.sig)
 		})
 		best := cands[0]
-		mk := func(t bv.Trit) alternative {
-			return alternative{asg: []requirement{{int(best.at.frame), best.at.sig, bv.NewX(1).WithBit(0, t)}}}
-		}
-		return &decision{alts: []alternative{mk(bv.Zero), mk(bv.One)}}
+		return e.binaryDecision(int(best.at.frame), best.at.sig,
+			bv.NewX(1).WithBit(0, bv.Zero), bv.NewX(1).WithBit(0, bv.One))
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		bi, bj := cands[i].bias(), cands[j].bias()
-		if bi != bj {
-			return bi > bj
+	slices.SortFunc(cands, func(a, b candidate) int {
+		ba, bb := a.bias(), b.bias()
+		if ba != bb {
+			if ba > bb {
+				return -1
+			}
+			return 1
 		}
-		if cands[i].at.frame != cands[j].at.frame {
-			return cands[i].at.frame > cands[j].at.frame
+		if a.at.frame != b.at.frame {
+			return int(b.at.frame) - int(a.at.frame)
 		}
-		return cands[i].at.sig < cands[j].at.sig
+		return int(a.at.sig) - int(b.at.sig)
 	})
 	best := cands[0]
 	first := best.biasValue()
@@ -345,10 +423,8 @@ func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
 		// Assign the complement first so conflicts surface early.
 		first = complement(first)
 	}
-	mk := func(t bv.Trit) alternative {
-		return alternative{asg: []requirement{{int(best.at.frame), best.at.sig, bv.NewX(1).WithBit(0, t)}}}
-	}
-	return &decision{alts: []alternative{mk(first), mk(complement(first))}}
+	return e.binaryDecision(int(best.at.frame), best.at.sig,
+		bv.NewX(1).WithBit(0, first), bv.NewX(1).WithBit(0, complement(first)))
 }
 
 func complement(t bv.Trit) bv.Trit {
@@ -374,7 +450,7 @@ func (e *Engine) makeDomainDecision() *decision {
 			if cube.IsFullyKnown() {
 				continue
 			}
-			var vals []uint64
+			vals := e.domVals[:0]
 			full := false
 			d.Enumerate(f, cube, func(v uint64) bool {
 				vals = append(vals, v)
@@ -384,6 +460,7 @@ func (e *Engine) makeDomainDecision() *decision {
 				}
 				return true
 			})
+			e.domVals = vals[:0]
 			if full || len(vals) == 0 || len(vals) >= bestCount {
 				continue
 			}
@@ -399,13 +476,17 @@ func (e *Engine) makeDomainDecision() *decision {
 	if bestAlts == nil {
 		return nil
 	}
-	return &decision{alts: bestAlts}
+	d := e.getDecision()
+	d.alts = bestAlts
+	return d
 }
 
-// EachDomain visits the registered domains.
+// EachDomain visits the registered domains in ascending SignalID order,
+// so callers (and the domain-decision tie-break between domains with
+// equally many feasible values) behave identically run to run.
 func (e *Engine) EachDomain(fn func(Domain)) {
-	for _, d := range e.domains {
-		fn(d)
+	for _, sig := range e.domainOrder {
+		fn(e.domains[sig])
 	}
 }
 
@@ -445,18 +526,18 @@ func (e *Engine) makeFallbackDecision(unjust []gateAt) *decision {
 		if e.mode == ModeProve {
 			first = bv.Zero
 		}
-		mk := func(t bv.Trit) alternative {
-			return alternative{asg: []requirement{{f, bestSig, bv.NewX(v.Width()).WithBit(i, t)}}}
-		}
-		return &decision{alts: []alternative{mk(first), mk(complement(first))}}
+		return e.binaryDecision(f, bestSig,
+			bv.NewX(v.Width()).WithBit(i, first),
+			bv.NewX(v.Width()).WithBit(i, complement(first)))
 	}
 	return nil
 }
 
-// seedGateInputs pushes the unknown inputs of a gate with their legal-1
-// probabilities per Rule 4 (plus mux/select handling). pOut is the
-// legal-1 probability of the gate output requirement.
-func (e *Engine) seedGateInputs(at gateAt, g *netlist.Gate, pOut float64, push func(sigAt, float64)) {
+// seedGateInputs pushes the unknown inputs of a gate onto the decision
+// BFS with their legal-1 probabilities per Rule 4 (plus mux/select
+// handling). pOut is the legal-1 probability of the gate output
+// requirement.
+func (e *Engine) seedGateInputs(at gateAt, g *netlist.Gate, pOut float64) {
 	f := at.frame
 	// Count unknown inputs.
 	nUnknown := 0
@@ -488,10 +569,10 @@ func (e *Engine) seedGateInputs(at gateAt, g *netlist.Gate, pOut float64, push f
 		q = 0.5
 	case netlist.KMux:
 		// Select gets 0.5; data inputs inherit the output probability.
-		push(sigAt{f, g.In[0]}, 0.5)
+		e.cdPush(sigAt{f, g.In[0]}, 0.5)
 		for _, d := range g.In[1:] {
 			if !e.vals[f][d].IsFullyKnown() {
-				push(sigAt{f, d}, pOut)
+				e.cdPush(sigAt{f, d}, pOut)
 			}
 		}
 		return
@@ -500,7 +581,7 @@ func (e *Engine) seedGateInputs(at gateAt, g *netlist.Gate, pOut float64, push f
 	}
 	for _, s := range g.In {
 		if !e.vals[f][s].IsFullyKnown() {
-			push(sigAt{f, s}, q)
+			e.cdPush(sigAt{f, s}, q)
 		}
 	}
 }

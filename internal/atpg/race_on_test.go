@@ -1,0 +1,9 @@
+//go:build race
+
+package atpg
+
+// raceEnabled lets the zero-alloc regression tests keep exercising
+// their workloads under `go test -race` (catching data races in the
+// frontier and pooled-scratch bookkeeping) without pinning allocation
+// counts, which the race runtime perturbs.
+const raceEnabled = true

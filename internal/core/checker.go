@@ -124,7 +124,13 @@ type Result struct {
 	// jumping when an op falls off it.
 	AllocObjects  uint64
 	AllocsPerImpl float64
-	Validated     bool
+	// AllocsPerDecision divides AllocObjects by the decision count: with
+	// the pooled decision engine (PR 2) a steady-state decision cycle —
+	// frontier scan, control decision, propagation — allocates nothing,
+	// so this is the canary for the search layer the way AllocsPerImpl
+	// is for the implication core.
+	AllocsPerDecision float64
+	Validated         bool
 }
 
 // Checker checks properties of one netlist.
@@ -213,6 +219,9 @@ func (c *Checker) Check(p property.Property) Result {
 	res.AllocObjects = ms1.Mallocs - ms0.Mallocs
 	if res.Stats.Implications > 0 {
 		res.AllocsPerImpl = float64(res.AllocObjects) / float64(res.Stats.Implications)
+	}
+	if res.Stats.Decisions > 0 {
+		res.AllocsPerDecision = float64(res.AllocObjects) / float64(res.Stats.Decisions)
 	}
 	res.Elapsed = time.Since(start)
 	res.Property = p.Name
@@ -478,6 +487,9 @@ func addStats(a, b atpg.Stats) atpg.Stats {
 	a.Backtracks += b.Backtracks
 	a.Implications += b.Implications
 	a.ArithCalls += b.ArithCalls
+	a.FrontierScans += b.FrontierScans
+	a.FrontierChecks += b.FrontierChecks
+	a.FrontierSkips += b.FrontierSkips
 	if b.MaxTrail > a.MaxTrail {
 		a.MaxTrail = b.MaxTrail
 	}

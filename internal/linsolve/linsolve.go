@@ -30,11 +30,13 @@ import (
 // Equations may be stated at a narrower width w <= n: a congruence
 // mod 2^w is lifted to mod 2^n by scaling both sides by 2^(n-w), which
 // preserves exactly the mod-2^w solution set (high variable bits become
-// don't-cares).
+// don't-cares). Rows live in one flat backing array (stride k+1), so a
+// Reset system adds equations without allocating.
 type System struct {
-	m    modarith.Mod
-	k    int        // number of variables
-	rows [][]uint64 // each row: k coefficients then rhs
+	m     modarith.Mod
+	k     int // number of variables
+	nrows int
+	rows  []uint64 // nrows rows of stride k+1: k coefficients then rhs
 }
 
 // NewSystem returns an empty system over k variables modulo 2^n.
@@ -45,11 +47,29 @@ func NewSystem(n, k int) *System {
 	return &System{m: modarith.NewMod(n), k: k}
 }
 
+// Reset re-initializes the system in place for n and k, keeping the row
+// storage — callers that solve many small systems (the ATPG datapath
+// phase) reuse one System as scratch.
+func (s *System) Reset(n, k int) {
+	if k < 0 {
+		panic("linsolve: negative variable count")
+	}
+	s.m = modarith.NewMod(n)
+	s.k = k
+	s.nrows = 0
+	s.rows = s.rows[:0]
+}
+
 // Vars returns the number of variables.
 func (s *System) Vars() int { return s.k }
 
 // Mod returns the system modulus.
 func (s *System) Mod() modarith.Mod { return s.m }
+
+// row returns the i-th row (k coefficients then rhs).
+func (s *System) row(i int) []uint64 {
+	return s.rows[i*(s.k+1) : (i+1)*(s.k+1)]
+}
 
 // AddEquation adds sum(coeffs[i]*x[i]) ≡ rhs (mod 2^width). width must
 // be between 1 and the system width; narrower equations are lifted.
@@ -62,12 +82,11 @@ func (s *System) AddEquation(coeffs []uint64, rhs uint64, width int) error {
 		return fmt.Errorf("linsolve: equation width %d out of range (system width %d)", width, n)
 	}
 	scale := uint64(1) << uint(n-width)
-	row := make([]uint64, s.k+1)
-	for i, c := range coeffs {
-		row[i] = s.m.Mul(s.m.Reduce(c), scale)
+	for _, c := range coeffs {
+		s.rows = append(s.rows, s.m.Mul(s.m.Reduce(c), scale))
 	}
-	row[s.k] = s.m.Mul(s.m.Reduce(rhs), scale)
-	s.rows = append(s.rows, row)
+	s.rows = append(s.rows, s.m.Mul(s.m.Reduce(rhs), scale))
+	s.nrows++
 	return nil
 }
 
@@ -147,57 +166,105 @@ func (ss SolutionSet) Enumerate(fn func(x []uint64) bool) {
 	rec(0)
 }
 
+// Workspace holds the scratch storage of SolveInto. One workspace can
+// back any number of sequential solves; the SolutionSet returned by
+// SolveInto references its memory and stays valid only until the next
+// SolveInto call with the same workspace.
+type Workspace struct {
+	a, u      []uint64 // flat matrices: a is nrows×k, u is k×k
+	b, y0     []uint64
+	pivotVals []int
+	tors      []torsion
+	x0        []uint64
+	gens      []uint64   // flat generator arena, rows of length k
+	gensIdx   [][]uint64 // outer slice pointing into gens
+	genOrders []uint64
+}
+
+type torsion struct {
+	col  int
+	step uint64 // 2^(n-v)
+	ord  uint64 // 2^v
+}
+
+// grow returns s resized to n elements, reusing capacity.
+func grow(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
 // Solve reduces the system and returns its solution set.
 func (s *System) Solve() SolutionSet {
+	return s.SolveInto(nil)
+}
+
+// SolveInto is Solve using ws as scratch (allocating fresh storage when
+// ws is nil). The returned set aliases ws.
+func (s *System) SolveInto(ws *Workspace) SolutionSet {
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	n := s.m.Bits()
 	k := s.k
 	m := s.m
-	nrows := len(s.rows)
+	nrows := s.nrows
 
 	// Working copies: A (nrows x k), b (nrows), U (k x k) accumulating
 	// column operations so that x = U·y.
-	a := make([][]uint64, nrows)
-	b := make([]uint64, nrows)
-	for i, r := range s.rows {
-		a[i] = append([]uint64(nil), r[:k]...)
+	a := grow(ws.a, nrows*k)
+	b := grow(ws.b, nrows)
+	for i := 0; i < nrows; i++ {
+		r := s.row(i)
+		copy(a[i*k:(i+1)*k], r[:k])
 		b[i] = r[k]
 	}
-	u := make([][]uint64, k)
+	u := grow(ws.u, k*k)
 	for i := range u {
-		u[i] = make([]uint64, k)
-		u[i][i] = 1
+		u[i] = 0
 	}
+	for i := 0; i < k; i++ {
+		u[i*k+i] = 1
+	}
+	ws.a, ws.b, ws.u = a, b, u
 
 	colSwap := func(c1, c2 int) {
-		for i := range a {
-			a[i][c1], a[i][c2] = a[i][c2], a[i][c1]
+		for i := 0; i < nrows; i++ {
+			a[i*k+c1], a[i*k+c2] = a[i*k+c2], a[i*k+c1]
 		}
 		for i := 0; i < k; i++ {
-			u[i][c1], u[i][c2] = u[i][c2], u[i][c1]
+			u[i*k+c1], u[i*k+c2] = u[i*k+c2], u[i*k+c1]
 		}
 	}
 	// colAddMul: col_dst -= q * col_src (on A and U).
 	colAddMul := func(dst, src int, q uint64) {
-		for i := range a {
-			a[i][dst] = m.Sub(a[i][dst], m.Mul(q, a[i][src]))
+		for i := 0; i < nrows; i++ {
+			a[i*k+dst] = m.Sub(a[i*k+dst], m.Mul(q, a[i*k+src]))
 		}
 		for i := 0; i < k; i++ {
-			u[i][dst] = m.Sub(u[i][dst], m.Mul(q, u[i][src]))
+			u[i*k+dst] = m.Sub(u[i*k+dst], m.Mul(q, u[i*k+src]))
 		}
+	}
+	rowSwap := func(r1, r2 int) {
+		for j := 0; j < k; j++ {
+			a[r1*k+j], a[r2*k+j] = a[r2*k+j], a[r1*k+j]
+		}
+		b[r1], b[r2] = b[r2], b[r1]
 	}
 
 	rank := 0
-	pivotVals := []int{} // 2-adic valuation of each pivot
+	pivotVals := ws.pivotVals[:0] // 2-adic valuation of each pivot
 	for rank < nrows && rank < k {
 		// Find the entry with minimal 2-adic valuation in the remaining
 		// submatrix a[rank..][rank..].
 		bestI, bestJ, bestV := -1, -1, n+1
 		for i := rank; i < nrows; i++ {
 			for j := rank; j < k; j++ {
-				if a[i][j] == 0 {
+				if a[i*k+j] == 0 {
 					continue
 				}
-				if v := m.Val2(a[i][j]); v < bestV {
+				if v := m.Val2(a[i*k+j]); v < bestV {
 					bestI, bestJ, bestV = i, j, v
 					if v == 0 {
 						break
@@ -211,43 +278,43 @@ func (s *System) Solve() SolutionSet {
 		if bestI < 0 {
 			break // remaining submatrix is zero
 		}
-		a[rank], a[bestI] = a[bestI], a[rank]
-		b[rank], b[bestI] = b[bestI], b[rank]
+		if bestI != rank {
+			rowSwap(rank, bestI)
+		}
 		if bestJ != rank {
 			colSwap(rank, bestJ)
 		}
 		// Normalize the pivot row so the pivot becomes exactly 2^v.
-		odd, v := m.OddPart(a[rank][rank])
+		odd, v := m.OddPart(a[rank*k+rank])
 		inv, _ := m.Inverse(odd)
 		for j := rank; j < k; j++ {
-			a[rank][j] = m.Mul(a[rank][j], inv)
+			a[rank*k+j] = m.Mul(a[rank*k+j], inv)
 		}
 		b[rank] = m.Mul(b[rank], inv)
-		piv := a[rank][rank] // == 2^v
 		// Eliminate below: every remaining entry has valuation >= v.
 		for i := rank + 1; i < nrows; i++ {
-			if a[i][rank] == 0 {
+			if a[i*k+rank] == 0 {
 				continue
 			}
-			q := a[i][rank] >> uint(v)
+			q := a[i*k+rank] >> uint(v)
 			for j := rank; j < k; j++ {
-				a[i][j] = m.Sub(a[i][j], m.Mul(q, a[rank][j]))
+				a[i*k+j] = m.Sub(a[i*k+j], m.Mul(q, a[rank*k+j]))
 			}
 			b[i] = m.Sub(b[i], m.Mul(q, b[rank]))
 		}
 		// Eliminate to the right (column ops) so the pivot row becomes
 		// (0.. 2^v ..0): entries right of the pivot also have val >= v.
 		for j := rank + 1; j < k; j++ {
-			if a[rank][j] == 0 {
+			if a[rank*k+j] == 0 {
 				continue
 			}
-			q := a[rank][j] >> uint(v)
+			q := a[rank*k+j] >> uint(v)
 			colAddMul(j, rank, q)
 		}
-		_ = piv
 		pivotVals = append(pivotVals, v)
 		rank++
 	}
+	ws.pivotVals = pivotVals
 
 	// Rows beyond the rank must have zero rhs.
 	for i := rank; i < nrows; i++ {
@@ -257,18 +324,18 @@ func (s *System) Solve() SolutionSet {
 	}
 
 	// Solve the diagonal system D·y = b: 2^v_i · y_i ≡ b_i.
-	y0 := make([]uint64, k)
-	type torsion struct {
-		col  int
-		step uint64 // 2^(n-v)
-		ord  uint64 // 2^v
+	y0 := grow(ws.y0, k)
+	for i := range y0 {
+		y0[i] = 0
 	}
-	var tors []torsion
+	ws.y0 = y0
+	tors := ws.tors[:0]
 	countLog2 := 0
 	for i := 0; i < rank; i++ {
 		v := pivotVals[i]
 		sol := m.InverseWithProduct(uint64(1)<<uint(v), b[i])
 		if sol.Empty() {
+			ws.tors = tors
 			return SolutionSet{}
 		}
 		y0[i] = sol.Base()
@@ -277,46 +344,61 @@ func (s *System) Solve() SolutionSet {
 			countLog2 += v
 		}
 	}
-	// Free columns: y_j ranges over all of Z/2^n.
-	freeCols := make([]int, 0, k-rank)
-	for j := rank; j < k; j++ {
-		freeCols = append(freeCols, j)
-		countLog2 += n
-	}
+	ws.tors = tors
+	nFree := k - rank // free columns y_j range over all of Z/2^n
+	countLog2 += nFree * n
 
-	// Map back: x = U·y.
-	mulU := func(y []uint64) []uint64 {
-		x := make([]uint64, k)
+	// Map back: x = U·y, generators into the flat arena.
+	mulU := func(dst, y []uint64) {
 		for i := 0; i < k; i++ {
 			var acc uint64
 			for j := 0; j < k; j++ {
-				acc = m.Add(acc, m.Mul(u[i][j], y[j]))
+				acc = m.Add(acc, m.Mul(u[i*k+j], y[j]))
 			}
-			x[i] = acc
+			dst[i] = acc
 		}
-		return x
 	}
 	ss := SolutionSet{Feasible: true, N: n, numVars: k, countLog2: countLog2}
-	ss.X0 = mulU(y0)
-	unit := func(col int, scale uint64) []uint64 {
-		y := make([]uint64, k)
-		y[col] = scale
-		return mulU(y)
+	ws.x0 = grow(ws.x0, k)
+	mulU(ws.x0, y0)
+	ss.X0 = ws.x0
+	nGens := len(tors) + nFree
+	ws.gens = grow(ws.gens, nGens*k)
+	if cap(ws.gensIdx) < nGens {
+		ws.gensIdx = make([][]uint64, nGens)
 	}
-	for _, t := range tors {
-		ss.Gens = append(ss.Gens, unit(t.col, t.step))
-		ss.GenOrders = append(ss.GenOrders, t.ord)
+	gensIdx := ws.gensIdx[:nGens]
+	ws.genOrders = grow(ws.genOrders, nGens)
+	genOrders := ws.genOrders
+	// unit reuses y0 as the scratch basis vector (it is fully consumed
+	// by now): set one coordinate, multiply, clear it again.
+	for i := range y0 {
+		y0[i] = 0
 	}
-	for _, j := range freeCols {
-		ss.Gens = append(ss.Gens, unit(j, 1))
+	unit := func(g, col int, scale uint64) {
+		row := ws.gens[g*k : (g+1)*k]
+		y0[col] = scale
+		mulU(row, y0)
+		y0[col] = 0
+		gensIdx[g] = row
+	}
+	for gi, t := range tors {
+		unit(gi, t.col, t.step)
+		genOrders[gi] = t.ord
+	}
+	for f := 0; f < nFree; f++ {
+		gi := len(tors) + f
+		unit(gi, rank+f, 1)
 		var ord uint64
 		if n >= 62 {
 			ord = 1 << 62
 		} else {
 			ord = 1 << uint(n)
 		}
-		ss.GenOrders = append(ss.GenOrders, ord)
+		genOrders[gi] = ord
 	}
+	ss.Gens = gensIdx
+	ss.GenOrders = genOrders
 	return ss
 }
 
@@ -327,8 +409,9 @@ func (s *System) Residual(x []uint64) []uint64 {
 	if len(x) != s.k {
 		panic("linsolve: Residual arity mismatch")
 	}
-	out := make([]uint64, len(s.rows))
-	for i, r := range s.rows {
+	out := make([]uint64, s.nrows)
+	for i := 0; i < s.nrows; i++ {
+		r := s.row(i)
 		var acc uint64
 		for j := 0; j < s.k; j++ {
 			acc = s.m.Add(acc, s.m.Mul(r[j], x[j]))
