@@ -109,6 +109,11 @@ func main() {
 				res.Stats.FrontierScans, res.Stats.FrontierChecks, res.Stats.FrontierSkips,
 				100*float64(res.Stats.FrontierSkips)/float64(res.Stats.FrontierChecks+res.Stats.FrontierSkips))
 		}
+		if res.Stats.Backtracks > 0 {
+			fmt.Printf("  conflicts: %d backtracks, %d backjumps skipping %d levels, %d estg reorders (%d past the prune threshold)\n",
+				res.Stats.Backtracks, res.Stats.Backjumps, res.Stats.LevelsSkipped,
+				res.Stats.EstgReorders, res.Stats.EstgPrunes)
+		}
 		if res.Trace != nil {
 			fmt.Print(res.Trace.Format(nl))
 		}

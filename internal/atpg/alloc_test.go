@@ -106,3 +106,60 @@ func TestDecisionCycleZeroAlloc(t *testing.T) {
 		t.Errorf("decision cycle: %.2f allocs/op on a single-word netlist, want 0", got)
 	}
 }
+
+// TestConflictAnalysisZeroAlloc pins the PR 3 property of the conflict
+// layer: analysing a recorded conflict — trail-chain walk, reason
+// recursion, level-set accumulation, activity bumps — allocates
+// nothing once the pooled scratch (visited stamps, worklist, level
+// sets, activity table) reaches steady state.
+func TestConflictAnalysisZeroAlloc(t *testing.T) {
+	nl := netlist.New("confalloc")
+	a := nl.AddInput("a", 8)
+	b := nl.AddInput("b", 8)
+	c := nl.AddInput("c", 8)
+	sum := nl.Binary(netlist.KAdd, a, b)
+	diff := nl.Binary(netlist.KSub, sum, c)
+	ored := nl.Binary(netlist.KOr, diff, a)
+	red := nl.Unary(netlist.KRedOr, ored)
+	_ = red
+
+	e, err := New(nl, 2, ModeProve, Limits{}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.propagate() {
+		t.Fatal("initial propagation conflicts")
+	}
+	// Two levels of decision-style refinements (reasonFree entries, as
+	// applyAlt would tag them) give the analysis real chains to walk.
+	decide := func(sig netlist.SignalID, val bv.BV) bool {
+		e.pushLevel()
+		return e.applyAlt(alternative{asg: []requirement{{0, sig, val}}}) && e.propagate()
+	}
+	if !decide(a, bv.MustParse("8'b1x0x_01x1")) {
+		t.Fatal("level-1 setup conflicts")
+	}
+	if !decide(c, bv.MustParse("8'bxxxx_10xx")) {
+		t.Fatal("level-2 setup conflicts")
+	}
+	redGate := nl.Signals[red].Driver
+	var set []uint64
+	pass := func() {
+		e.setConflictGate(gateAt{0, redGate})
+		set = set[:0]
+		e.analyzeConflictInto(&set, e.level())
+		e.endConflict()
+		if len(set) == 0 {
+			t.Fatal("analysis found no levels")
+		}
+	}
+	pass() // warm up pooled scratch and the activity table
+	if raceEnabled {
+		t.Log("race detector enabled: exercising the analysis without pinning the alloc count")
+		pass()
+		return
+	}
+	if got := testing.AllocsPerRun(100, pass); got != 0 {
+		t.Errorf("conflict analysis: %.2f allocs/op, want 0", got)
+	}
+}

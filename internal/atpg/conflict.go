@@ -1,0 +1,356 @@
+package atpg
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Conflict-driven backjumping (the paper's §5 non-chronological
+// backtracking). Every trail entry carries the decision level that
+// produced it (implicitly, via its position between levelMarks) and a
+// reason: the gate instance whose implication refined the cube, or a
+// sentinel for decision/requirement assignments and datapath-solver
+// writebacks. When propagation fails, analyzeConflictInto walks the
+// reasons backward through the trail and collects the set of decision
+// levels whose assignments transitively fed the conflict. The search
+// accumulates that set per decision (Prosser-style CBJ): a decision
+// whose alternatives are all exhausted jumps directly to the deepest
+// level in its accumulated set, popping every uninvolved level in
+// between without re-flipping it — those levels provably cannot repair
+// the conflict — and merges the set into the jump target so the
+// invariant holds inductively.
+//
+// Soundness notes:
+//   - A gate-implied refinement is valid whenever the cubes it was
+//     derived from hold, so its own level is NOT charged; only the
+//     levels reached through its reason closure are.
+//   - Comparator implications additionally read the structural-identity
+//     union-find, whose state is shaped by merges performed at any
+//     level; every level that recorded a merge is charged when a
+//     comparator appears in the closure.
+//   - Datapath-solver writebacks derive from equation systems spanning
+//     many cubes; they are tagged reasonSolver and charge every level
+//     up to their own.
+//   - Decisions whose alternative *set* was enumerated from current
+//     cubes (datapath factoring/solution enumeration) are marked chron:
+//     exhausting them backtracks chronologically, because a skipped
+//     level might have widened the enumeration. Domain decisions record
+//     the precise basis instead: the levels that narrowed the
+//     enumerated register's cube.
+
+// levelSet is a bitmask over decision levels (bit l = level l; level 0,
+// the requirement phase, is never set). All helpers extend storage with
+// explicit zero appends so pooled sets never expose stale bits.
+
+func setLevel(s *[]uint64, l int) {
+	w := l >> 6
+	for len(*s) <= w {
+		*s = append(*s, 0)
+	}
+	(*s)[w] |= 1 << uint(l&63)
+}
+
+func clearLevel(s []uint64, l int) {
+	if w := l >> 6; w < len(s) {
+		s[w] &^= 1 << uint(l&63)
+	}
+}
+
+// setLevelsUpTo sets every level 1..l.
+func setLevelsUpTo(s *[]uint64, l int) {
+	if l < 1 {
+		return
+	}
+	w := l >> 6
+	for len(*s) <= w {
+		*s = append(*s, 0)
+	}
+	for i := 0; i < w; i++ {
+		(*s)[i] = ^uint64(0)
+	}
+	(*s)[w] |= ^uint64(0) >> uint(63-l&63)
+	(*s)[0] &^= 1 // level 0 is not a decision level
+}
+
+func mergeLevelSet(dst *[]uint64, src []uint64) {
+	for len(*dst) < len(src) {
+		*dst = append(*dst, 0)
+	}
+	for i, w := range src {
+		(*dst)[i] |= w
+	}
+}
+
+// levelSetMax returns the highest set level, or 0 when the set is
+// empty.
+func levelSetMax(s []uint64) int {
+	for w := len(s) - 1; w >= 0; w-- {
+		if s[w] != 0 {
+			return w<<6 + bits.Len64(s[w]) - 1
+		}
+	}
+	return 0
+}
+
+// setConflictGate records a propagation failure at a gate instance.
+func (e *Engine) setConflictGate(at gateAt) {
+	e.confKind = confGateKind
+	e.confGate = at
+}
+
+// setConflictSig records a failed direct requirement on one signal.
+func (e *Engine) setConflictSig(frame int, sig netlist.SignalID) {
+	e.confKind = confSigKind
+	e.confSig = sigAt{int32(frame), sig}
+}
+
+// setConflictAll records a conflict that cannot be attributed (datapath
+// solver infeasibility, engine-incomplete branch): analysis charges
+// every open decision level, reproducing chronological behavior.
+func (e *Engine) setConflictAll() {
+	e.confKind = confAllKind
+}
+
+// setConflictLevels hands a precomputed level set (an exhausted
+// decision's accumulated conflict set, already copied to confScratch)
+// to the next analysis.
+func (e *Engine) setConflictLevels(chron bool) {
+	e.confKind = confLevelsKind
+	e.confChron = chron
+}
+
+// levelOf maps a trail index to the decision level that appended it:
+// the number of level marks at or below the index.
+func (e *Engine) levelOf(idx int) int {
+	return sort.SearchInts(e.levelMarks, idx+1)
+}
+
+// addUfLevels charges every decision level that recorded at least one
+// structural-identity merge.
+func (e *Engine) addUfLevels(dst *[]uint64) {
+	for l := 1; l <= len(e.ufMarks); l++ {
+		end := len(e.ufTrail)
+		if l < len(e.ufMarks) {
+			end = e.ufMarks[l]
+		}
+		if e.ufMarks[l-1] < end {
+			setLevel(dst, l)
+		}
+	}
+}
+
+// analyzeConflictInto merges the decision levels involved in the
+// recorded conflict into dst, excluding cur (the level whose
+// alternative just failed — its involvement is implicit).
+func (e *Engine) analyzeConflictInto(dst *[]uint64, cur int) {
+	kind := e.confKind
+	e.confKind = confNone
+	// Activity scores are only bumped when something reads them.
+	bump := !e.features.NoEstgGuide
+	switch kind {
+	case confGateKind:
+		e.beginTrace()
+		e.pushConflictGate(e.confGate, dst, int32(len(e.trail)))
+		e.drainTrace(dst, bump)
+	case confSigKind:
+		e.beginTrace()
+		e.pushConflictSig(int(e.confSig.frame), e.confSig.sig, int32(len(e.trail)))
+		e.drainTrace(dst, bump)
+	case confLevelsKind:
+		if e.confChron {
+			setLevelsUpTo(dst, cur-1)
+		} else {
+			mergeLevelSet(dst, e.confScratch)
+		}
+	default:
+		// confAllKind, or no recorded source (defensive).
+		setLevelsUpTo(dst, cur-1)
+	}
+	clearLevel(*dst, cur)
+}
+
+// traceSignalInto collects the decision levels that (transitively)
+// narrowed one signal instance's cube — the enumeration basis of a
+// domain decision.
+func (e *Engine) traceSignalInto(dst *[]uint64, frame int, sig netlist.SignalID) {
+	e.beginTrace()
+	e.pushConflictSig(frame, sig, int32(len(e.trail)))
+	// Not a conflict: the basis levels are collected without touching
+	// the conflict-activity scores.
+	e.drainTrace(dst, false)
+}
+
+// beginTrace resets the trail-entry visited stamps for one analysis.
+func (e *Engine) beginTrace() {
+	if len(e.anStamp) < len(e.trail) {
+		grown := make([]uint32, cap(e.trail))
+		copy(grown, e.anStamp)
+		e.anStamp = grown
+	}
+	e.anGen++
+	if e.anGen == 0 {
+		for i := range e.anStamp {
+			e.anStamp[i] = 0
+		}
+		e.anGen = 1
+	}
+	e.anQueue = e.anQueue[:0]
+}
+
+// pushConflictSig enqueues the trail entries of one signal instance's
+// refinement chain older than bound (each refinement of the cube as of
+// that moment may have contributed). The bound is what keeps analysis
+// precise: an implication recorded at trail position t read the cubes
+// as of t, so refinements appended later — typically by deeper
+// decision levels — are provably irrelevant to it. The visited stamps
+// compose with bounds: a chain first walked under a smaller bound is
+// extended, never re-walked, under a larger one.
+func (e *Engine) pushConflictSig(frame int, sig netlist.SignalID, bound int32) {
+	ti := e.lastTouch[frame*e.nl.NumSignals()+int(sig)]
+	for ti >= bound {
+		ti = e.trail[ti].prevTouch
+	}
+	for ti >= 0 && e.anStamp[ti] != e.anGen {
+		e.anStamp[ti] = e.anGen
+		e.anQueue = append(e.anQueue, ti)
+		ti = e.trail[ti].prevTouch
+	}
+}
+
+// pushConflictGate enqueues the refinement chains (older than bound) of
+// every signal a gate instance's implication reads.
+func (e *Engine) pushConflictGate(at gateAt, dst *[]uint64, bound int32) {
+	g := &e.nl.Gates[at.gate]
+	f := int(at.frame)
+	if g.Kind.IsComparator() {
+		e.addUfLevels(dst)
+	}
+	if g.Kind == netlist.KDff {
+		// implyDff at frame f links D@f with Q@f+1.
+		e.pushConflictSig(f, g.In[0], bound)
+		if f+1 < e.frames {
+			e.pushConflictSig(f+1, g.Out, bound)
+		}
+		return
+	}
+	e.pushConflictSig(f, g.Out, bound)
+	for _, s := range g.In {
+		e.pushConflictSig(f, s, bound)
+	}
+}
+
+// drainTrace processes queued trail entries: decision/requirement
+// entries contribute their own level, solver writebacks charge every
+// level up to their own, and gate-implied entries recurse through the
+// implying gate's signals. bump is set only when the trace explains a
+// real conflict — then every charged decision signal's activity score
+// rises; basis traces (domain-decision creation) leave scores alone.
+func (e *Engine) drainTrace(dst *[]uint64, bump bool) {
+	for len(e.anQueue) > 0 {
+		ti := e.anQueue[len(e.anQueue)-1]
+		e.anQueue = e.anQueue[:len(e.anQueue)-1]
+		ent := &e.trail[ti]
+		switch ent.reason.gate {
+		case reasonFree:
+			if l := e.levelOf(int(ti)); l > 0 {
+				setLevel(dst, l)
+				if bump {
+					e.bumpActivity(int(ent.frame), ent.sig)
+				}
+			}
+		case reasonSolver:
+			setLevelsUpTo(dst, e.levelOf(int(ti)))
+		default:
+			e.pushConflictGate(ent.reason, dst, ti)
+		}
+	}
+}
+
+// bumpActivity raises the conflict-activity score of a decision
+// signal. The increment grows geometrically per conflict (see
+// endConflict), so ordering by score favors recently-conflicting
+// signals — the same bounded-decay idea the ESTG store applies to
+// abstract states, at signal granularity.
+func (e *Engine) bumpActivity(frame int, sig netlist.SignalID) {
+	if e.actScore == nil {
+		e.actScore = make([]float64, e.frames*e.nl.NumSignals())
+	}
+	e.actScore[frame*e.nl.NumSignals()+int(sig)] += e.actInc
+}
+
+// endConflict inflates the activity increment after a conflict
+// analysis, rescaling everything down when it approaches overflow.
+func (e *Engine) endConflict() {
+	if e.features.NoEstgGuide {
+		return
+	}
+	e.actInc *= 1.05
+	if e.actInc > 1e100 {
+		for i := range e.actScore {
+			e.actScore[i] *= 1e-100
+		}
+		e.actInc *= 1e-100
+	}
+}
+
+// activityOf returns the conflict-activity score of a signal instance.
+func (e *Engine) activityOf(at sigAt) float64 {
+	if e.actScore == nil {
+		return 0
+	}
+	return e.actScore[int(at.frame)*e.nl.NumSignals()+int(at.sig)]
+}
+
+// backjump resolves the recorded conflict by conflict-directed
+// backjumping. It flips the deepest decision's next alternative like
+// chronological backtracking does, but on exhaustion jumps straight to
+// the deepest decision level in the accumulated conflict set, popping
+// every level in between unflipped. Returns false when the search
+// space is exhausted.
+func (e *Engine) backjump(stack *[]*decision) bool {
+	for len(*stack) > 0 {
+		n := len(*stack)
+		d := (*stack)[n-1]
+		e.analyzeConflictInto(&d.confSet, n)
+		e.endConflict()
+		e.recordConflictState()
+		e.popLevel()
+		d.idx++
+		if d.idx < len(d.alts) {
+			e.pushLevel()
+			if e.applyAlt(d.alts[d.idx]) {
+				return true
+			}
+			continue // applyAlt recorded the fresh conflict
+		}
+		// Exhausted: every alternative failed for reasons confined to
+		// confSet, so decisions at levels above its maximum could not
+		// have repaired any of them.
+		*stack = (*stack)[:n-1]
+		target := n - 1
+		if !d.chron {
+			target = levelSetMax(d.confSet)
+		}
+		e.confScratch = append(e.confScratch[:0], d.confSet...)
+		chron := d.chron
+		e.putDecision(d)
+		if skip := len(*stack) - target; skip > 0 {
+			e.stats.Backjumps++
+			e.stats.LevelsSkipped += skip
+			for len(*stack) > target {
+				dd := (*stack)[len(*stack)-1]
+				*stack = (*stack)[:len(*stack)-1]
+				e.popLevel()
+				e.putDecision(dd)
+			}
+		}
+		if len(*stack) == 0 {
+			return false
+		}
+		// Hand the accumulated set to the jump target and flip it.
+		e.setConflictLevels(chron)
+	}
+	return false
+}

@@ -62,7 +62,11 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 		}
 		cands := linsolve.SolveMul(w, c, a, b, 1<<13)
 		if len(cands) == 0 {
-			return false, true, nil // complete enumeration: no solution
+			// Complete enumeration: no solution. The refutation depends
+			// on the operand/output cubes, which conflict analysis
+			// cannot attribute here — charge every level.
+			e.setConflictAll()
+			return false, true, nil
 		}
 		if len(cands) > 64 {
 			continue // too many branches; cheaper as bit decisions
@@ -76,6 +80,10 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 		}
 		d := e.getDecision()
 		d.alts = alts
+		// The candidate set was enumerated from current cubes: a level
+		// skipped by a backjump might have widened it, so exhaustion
+		// must backtrack chronologically.
+		d.chron = true
 		return false, false, d
 	}
 
@@ -244,6 +252,7 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 	}
 	ss := sys.SolveInto(&e.dpWS)
 	if !ss.Feasible {
+		e.setConflictAll()
 		return false, true, nil
 	}
 	writeback := func(x []uint64) alternative {
@@ -269,10 +278,12 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 		// actual refinement — rewriting already-known values must not
 		// count, or the solve loop would spin.
 		if !consistent(ss.X0) {
+			e.setConflictAll()
 			return false, true, nil
 		}
 		trailBefore := len(e.trail)
-		if !e.applyAlt(writeback(ss.X0)) {
+		if !e.applySolver(writeback(ss.X0)) {
+			e.setConflictAll()
 			return false, true, nil
 		}
 		return len(e.trail) > trailBefore, false, nil
@@ -287,10 +298,14 @@ func (e *Engine) datapathPhase(unjust []gateAt) (progress, conflict bool, dec *d
 			return true
 		})
 		if len(alts) == 0 {
+			e.setConflictAll()
 			return false, true, nil // exhaustive: genuinely infeasible
 		}
 		d := e.getDecision()
 		d.alts = alts
+		// Enumerated from the current equation system and cubes:
+		// exhaustion must backtrack chronologically (see above).
+		d.chron = true
 		return false, false, d
 	default:
 		// Feasible with a large solution set: the solve contributed its

@@ -56,6 +56,18 @@ type Features struct {
 	// ordering of §3.2; candidates are taken in structural order with
 	// a fixed polarity.
 	NoProbabilityOrder bool
+	// NoBackjump disables conflict-driven backjumping: every conflict
+	// is resolved by chronological backtracking (flip the most recent
+	// decision), as in the pre-PR-3 engine. With backjumping on, the
+	// engine analyses which decision levels actually fed a conflict and
+	// pops uninvolved levels without re-flipping them. Verdicts are
+	// identical either way (cross-checked by TestBackjumpMatchesChrono);
+	// only search effort differs.
+	NoBackjump bool
+	// NoEstgGuide disables ESTG-guided decision ordering: learned
+	// conflict counts on abstract states/transitions are still recorded
+	// but no longer read back to order decision polarities.
+	NoEstgGuide bool
 }
 
 // Stats reports search effort.
@@ -75,6 +87,23 @@ type Stats struct {
 	FrontierScans  int
 	FrontierChecks int
 	FrontierSkips  int
+	// Conflict-analysis effectiveness: Backjumps counts conflicts whose
+	// analysis jumped over at least one decision level, LevelsSkipped
+	// the levels popped without re-flipping their alternatives (each
+	// would have been a wasted subtree under chronological
+	// backtracking).
+	Backjumps     int
+	LevelsSkipped int
+	// ESTG guidance: EstgReorders counts decision polarities swapped
+	// because the learned store scored the preferred abstract state
+	// worse, EstgPrunes the subset whose combined score gap (state
+	// conflicts + weighted transition conflicts) reached the prune
+	// threshold — the decisive "try known-bad regions last" soft
+	// prunes. Hard pruning would be unsound: recorded conflicts are
+	// search dead-ends under particular constraints, not proofs of
+	// infeasibility.
+	EstgReorders int
+	EstgPrunes   int
 }
 
 // Status is the outcome of a Solve call.
@@ -207,7 +236,56 @@ type Engine struct {
 
 	// controlFFs lists 1-bit flip-flops (abstract state variables).
 	controlFFs []netlist.GateID
+	// ctlPos maps a control flip-flop's output signal to its position
+	// in the abstract state key (-1 otherwise); see stateKey.
+	ctlPos []int32
+
+	// Conflict analysis (conflict.go). lastTouch[frame*numSignals+sig]
+	// indexes the newest trail entry of a signal instance (-1 = never
+	// refined); curReason tags every assign with the gate instance
+	// whose implication produced it (or a reason* sentinel).
+	lastTouch []int32
+	curReason gateAt
+	// The conflict source recorded at the failure point and consumed by
+	// the backjumping search loop.
+	confKind  uint8
+	confGate  gateAt
+	confSig   sigAt
+	confChron bool
+	// Analysis scratch: per-trail-entry visited stamps, the worklist of
+	// trail-entry indexes, and the level-set bitmask handed from an
+	// exhausted decision to the next level down. All pooled; a conflict
+	// analysis allocates nothing once they reach steady-state size.
+	anStamp     []uint32
+	anGen       uint32
+	anQueue     []int32
+	confScratch []uint64
+	// guideBuf builds candidate abstract-state keys (and joined
+	// transition keys) for ESTG scoring without allocating.
+	guideBuf []byte
+	// actScore is the conflict-activity score per signal instance
+	// (frame*numSignals+sig): every decision assignment charged by a
+	// conflict analysis bumps its signal's score by actInc, and actInc
+	// grows geometrically so recent conflicts dominate (VSIDS-style
+	// bounded decay). makeControlDecision branches on the hottest
+	// candidate first, which keeps the search inside the region that is
+	// actually producing conflicts instead of re-deciding unrelated
+	// signals below it.
+	actScore []float64
+	actInc   float64
+	// conflictsRecorded triggers bounded decay of the learned store.
+	conflictsRecorded int
 }
+
+// Conflict-source kinds (confKind).
+const (
+	confNone     uint8 = iota
+	confGateKind       // propagation failed at gate instance confGate
+	confSigKind        // a direct requirement on confSig conflicted
+	confAllKind        // unattributable (datapath solver, engine-incomplete
+	// branch): analysis must charge every open decision level
+	confLevelsKind // precomputed level set in confScratch (backjump hand-off)
+)
 
 // dpTerm is one sparse coefficient of a datapath equation.
 type dpTerm struct {
@@ -224,10 +302,30 @@ type dpEq struct {
 	rhs   uint64
 }
 
+// Reason sentinels for trailEntry.reason.gate: a negative gate id marks
+// an entry that was not produced by gate implication.
+const (
+	// reasonFree: a decision alternative, an external requirement or an
+	// initial value — the entry depends only on its own decision level.
+	reasonFree netlist.GateID = -1
+	// reasonSolver: a datapath-solver writeback — the value was derived
+	// from equation cubes across many levels, so conflict analysis must
+	// treat the entry as depending on every level up to its own.
+	reasonSolver netlist.GateID = -2
+)
+
 type trailEntry struct {
 	frame int32
 	sig   netlist.SignalID
 	prev  bv.BV
+	// prevTouch chains to the previous trail entry of the same signal
+	// instance (-1 at the chain end); lastTouch indexes the newest.
+	prevTouch int32
+	// reason identifies the gate instance whose implication produced
+	// this refinement (reason.frame is the frame implyGate ran at — a
+	// flip-flop implication touches signals at reason.frame and
+	// reason.frame+1), or a reason* sentinel.
+	reason gateAt
 }
 
 type gateAt struct {
@@ -313,6 +411,12 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 	if store != nil {
 		e.internTab = make(map[string]string)
 	}
+	e.lastTouch = make([]int32, frames*nSigs)
+	for i := range e.lastTouch {
+		e.lastTouch[i] = -1
+	}
+	e.curReason = gateAt{frame: -1, gate: reasonFree}
+	e.actInc = 1
 	for f := range e.vals {
 		e.vals[f] = backing[f*nSigs : (f+1)*nSigs : (f+1)*nSigs]
 		for s := range e.vals[f] {
@@ -327,10 +431,15 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 	}
 	if nCtl > 0 {
 		e.controlFFs = make([]netlist.GateID, 0, nCtl)
+		e.ctlPos = make([]int32, nSigs)
+		for i := range e.ctlPos {
+			e.ctlPos[i] = -1
+		}
 	}
 	for _, ff := range nl.FFs {
 		g := &nl.Gates[ff]
 		if nl.Width(g.Out) == 1 {
+			e.ctlPos[g.Out] = int32(len(e.controlFFs))
 			e.controlFFs = append(e.controlFFs, ff)
 		}
 		if !freeInit && !g.Init.IsAllX() {
@@ -445,6 +554,7 @@ func (e *Engine) AddDomain(d Domain) {
 // It returns false if the requirement immediately conflicts.
 func (e *Engine) Require(frame int, sig netlist.SignalID, val bv.BV) bool {
 	e.reqs = append(e.reqs, requirement{frame, sig, val})
+	e.curReason = gateAt{frame: -1, gate: reasonFree}
 	return e.assign(frame, sig, val)
 }
 
@@ -480,7 +590,12 @@ func (e *Engine) assign(frame int, sig netlist.SignalID, val bv.BV) bool {
 			}
 		}
 	}
-	e.trail = append(e.trail, trailEntry{int32(frame), sig, cur})
+	ti := frame*e.nl.NumSignals() + int(sig)
+	e.trail = append(e.trail, trailEntry{
+		frame: int32(frame), sig: sig, prev: cur,
+		prevTouch: e.lastTouch[ti], reason: e.curReason,
+	})
+	e.lastTouch[ti] = int32(len(e.trail) - 1)
 	if len(e.trail) > e.stats.MaxTrail {
 		e.stats.MaxTrail = len(e.trail)
 	}
@@ -570,8 +685,11 @@ func (e *Engine) propagate() bool {
 		e.qhead++
 		e.queuedStamp[int(item.frame)*e.nl.NumGates()+int(item.gate)] = 0
 		e.stats.Implications++
+		e.curReason = item
 		if !e.implyGate(int(item.frame), item.gate) {
-			// Leave the queue dirty; backtrack clears it.
+			// Leave the queue dirty; backtrack clears it. Record the
+			// failing gate instance as the conflict source for analysis.
+			e.setConflictGate(item)
 			return false
 		}
 		if e.qhead == len(e.queue) {
@@ -618,6 +736,7 @@ func (e *Engine) popLevel() {
 	for i := len(e.trail) - 1; i >= mark; i-- {
 		t := e.trail[i]
 		e.vals[t.frame][t.sig] = t.prev
+		e.lastTouch[int(t.frame)*e.nl.NumSignals()+int(t.sig)] = t.prevTouch
 		e.markDirtyAround(int(t.frame), t.sig)
 	}
 	e.trail = e.trail[:mark]

@@ -1,0 +1,77 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/bv"
+	"repro/internal/estg"
+	"repro/internal/netlist"
+)
+
+// guideNetlist: one uninitialized 1-bit control flip-flop q and a free
+// input c feeding an XOR monitor. Requiring mon=1 forces a control
+// decision whose candidates are q@0 and c@0 with equal legal-1
+// probabilities; the (frame, sig) tie-break picks q, the abstract
+// state bit.
+func guideNetlist() (*netlist.Netlist, netlist.SignalID, netlist.SignalID) {
+	nl := netlist.New("guide")
+	d := nl.AddInput("d", 1)
+	q := nl.Dff(d, bv.NewX(1), "q")
+	c := nl.AddInput("c", 1)
+	mon := nl.Binary(netlist.KXor, q, c)
+	return nl, q, mon
+}
+
+// TestEstgPolarityGuidesDecision pins the learned-store read-back: a
+// store that has accumulated conflicts for the abstract state "1"
+// makes the engine try q=0 first (the known-bad state is tried last),
+// where an empty or disabled store leaves the witness-mode bias order
+// (q=1 first). Both orders find a witness — guidance only reorders.
+func TestEstgPolarityGuidesDecision(t *testing.T) {
+	run := func(store *estg.Store, feats Features) (bv.Trit, Stats) {
+		nl, q, mon := guideNetlist()
+		e, err := NewWithFeatures(nl, 1, ModeWitness, Limits{}, store, false, feats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Require(0, mon, bv.FromUint64(1, 1)) {
+			t.Fatal("require conflicts")
+		}
+		if st := e.Solve(); st != StatusSat {
+			t.Fatalf("status %v, want sat", st)
+		}
+		return e.Value(0, q).Bit(0), e.Stats()
+	}
+
+	// Baseline: empty store, witness mode assigns the bias value 1
+	// first and it sticks.
+	if got, _ := run(estg.NewStore(), Features{}); got != bv.One {
+		t.Fatalf("baseline decided q=%v first, want 1", got)
+	}
+
+	// A store that learned state "1" is conflict-prone flips the order.
+	hot := estg.NewStore()
+	for i := 0; i < estgPruneThreshold; i++ {
+		hot.RecordConflict("1")
+	}
+	got, st := run(hot, Features{})
+	if got != bv.Zero {
+		t.Fatalf("guided run decided q=%v first, want 0 (state \"1\" recorded hot)", got)
+	}
+	if st.EstgReorders != 1 || st.EstgPrunes != 1 {
+		t.Fatalf("guidance counters = %+v, want EstgReorders=1 EstgPrunes=1", st)
+	}
+
+	// The ablation flag restores the unguided order on the same store.
+	if got, st := run(hot, Features{NoEstgGuide: true}); got != bv.One || st.EstgReorders != 0 {
+		t.Fatalf("NoEstgGuide: decided q=%v (reorders %d), want 1 with no reorders", got, st.EstgReorders)
+	}
+
+	// Decay ages the recorded conflicts back to irrelevance.
+	cold := estg.NewStore()
+	cold.RecordConflict("1")
+	cold.Decay()
+	if got, st := run(cold, Features{}); got != bv.One || st.EstgReorders != 0 {
+		t.Fatalf("decayed store: decided q=%v (reorders %d), want unguided 1", got, st.EstgReorders)
+	}
+}

@@ -19,6 +19,14 @@ type alternative struct {
 type decision struct {
 	alts []alternative
 	idx  int
+	// confSet accumulates the lower decision levels involved in this
+	// decision's conflicts (the CBJ conflict set); on exhaustion the
+	// search jumps to its maximum.
+	confSet []uint64
+	// chron forces chronological backtracking on exhaustion: set for
+	// decisions whose alternative set was enumerated from current cubes
+	// (a skipped level might have widened the enumeration).
+	chron bool
 	// Inline storage for the ubiquitous two-alternative single-
 	// requirement decisions (control and fallback branches), so pooled
 	// decisions allocate nothing.
@@ -34,6 +42,8 @@ func (e *Engine) getDecision() *decision {
 		e.decFree = e.decFree[:n-1]
 		d.idx = 0
 		d.alts = nil
+		d.confSet = d.confSet[:0]
+		d.chron = false
 		return d
 	}
 	return &decision{}
@@ -69,7 +79,9 @@ func (e *Engine) Solve() Status {
 	stack := e.decStack[:0]
 	defer func() { e.decStack = stack[:0] }()
 
-	backtrack := func() bool {
+	// chronological is the pre-backjumping conflict resolution: flip
+	// the most recent decision with alternatives left, no analysis.
+	chronological := func() bool {
 		for len(stack) > 0 {
 			d := stack[len(stack)-1]
 			e.recordConflictState()
@@ -87,6 +99,10 @@ func (e *Engine) Solve() Status {
 			e.putDecision(d)
 		}
 		return false
+	}
+	backtrack := chronological
+	if !e.features.NoBackjump {
+		backtrack = func() bool { return e.backjump(&stack) }
 	}
 
 	if !e.propagate() {
@@ -144,7 +160,10 @@ func (e *Engine) Solve() Status {
 				d = fd
 			} else {
 				// Stuck: nothing justiciable and no datapath progress.
+				// The abandonment cannot be attributed to specific
+				// levels, so conflict analysis must charge all of them.
 				e.incomplete = true
+				e.setConflictAll()
 				if !backtrack() {
 					return e.exhausted()
 				}
@@ -179,8 +198,25 @@ func (e *Engine) exhausted() Status {
 	return StatusUnsat
 }
 
-// applyAlt applies all assignments of one alternative.
+// applyAlt applies all assignments of one alternative. Entries are
+// tagged reasonFree (they depend on their own decision level); a
+// failed assignment records the signal as the conflict source.
 func (e *Engine) applyAlt(a alternative) bool {
+	e.curReason = gateAt{frame: -1, gate: reasonFree}
+	for _, r := range a.asg {
+		if !e.assign(r.frame, r.sig, r.val) {
+			e.setConflictSig(r.frame, r.sig)
+			return false
+		}
+	}
+	return true
+}
+
+// applySolver applies a datapath-solver writeback; entries are tagged
+// reasonSolver so conflict analysis charges them conservatively (the
+// values derive from equation cubes across many levels).
+func (e *Engine) applySolver(a alternative) bool {
+	e.curReason = gateAt{frame: -2, gate: reasonSolver}
 	for _, r := range a.asg {
 		if !e.assign(r.frame, r.sig, r.val) {
 			return false
@@ -198,6 +234,12 @@ func (e *Engine) applyAlt(a alternative) bool {
 func (e *Engine) recordConflictState() {
 	if e.store == nil || len(e.controlFFs) == 0 {
 		return
+	}
+	// Bounded decay: periodically age the learned counts so regions the
+	// search abandoned long ago stop steering decision order.
+	e.conflictsRecorded++
+	if e.conflictsRecorded%4096 == 0 {
+		e.store.Decay()
 	}
 	prevKnown := ""
 	for f := 0; f < e.frames; f++ {
@@ -376,11 +418,32 @@ func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
 		return nil
 	}
 	// If the candidate list is large, keep the highest-fanout subset
-	// (§3.2: "a subset of them is selected as the decision nodes").
-	// Ties broken by (frame, sig) so the subset is deterministic.
+	// (§3.2: "a subset of them is selected as the decision nodes"),
+	// with conflict-hot candidates surviving ahead of it. Ties broken
+	// by (frame, sig) so the subset is deterministic.
+	// cmpActivity orders conflict-hot candidates first (0 when equal or
+	// when guidance is off); both sorts below use it as their primary
+	// key so truncation and final selection agree on what "hot" means.
+	useActivity := !e.features.NoEstgGuide && e.actScore != nil
+	cmpActivity := func(a, b candidate) int {
+		if !useActivity {
+			return 0
+		}
+		aa, ab := e.activityOf(a.at), e.activityOf(b.at)
+		switch {
+		case aa > ab:
+			return -1
+		case aa < ab:
+			return 1
+		}
+		return 0
+	}
 	const maxCands = 64
 	if len(cands) > maxCands {
 		slices.SortFunc(cands, func(a, b candidate) int {
+			if c := cmpActivity(a, b); c != 0 {
+				return c
+			}
 			if a.fanout != b.fanout {
 				return b.fanout - a.fanout
 			}
@@ -404,7 +467,15 @@ func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
 		return e.binaryDecision(int(best.at.frame), best.at.sig,
 			bv.NewX(1).WithBit(0, bv.Zero), bv.NewX(1).WithBit(0, bv.One))
 	}
+	// Conflict-activity first (branch where the conflicts are — the
+	// learned-guidance read-back of §5), legal-assignment bias
+	// (Definition 2) within equally-hot candidates. Before the first
+	// conflict every activity is zero and the order is the pure §3.2
+	// bias order.
 	slices.SortFunc(cands, func(a, b candidate) int {
+		if c := cmpActivity(a, b); c != 0 {
+			return c
+		}
 		ba, bb := a.bias(), b.bias()
 		if ba != bb {
 			if ba > bb {
@@ -423,8 +494,92 @@ func (e *Engine) makeControlDecision(unjust []gateAt) *decision {
 		// Assign the complement first so conflicts surface early.
 		first = complement(first)
 	}
+	first = e.estgPolarity(best.at, first)
 	return e.binaryDecision(int(best.at.frame), best.at.sig,
 		bv.NewX(1).WithBit(0, first), bv.NewX(1).WithBit(0, complement(first)))
+}
+
+// ESTG guidance tuning: a transition conflict weighs heavier than a
+// state conflict. Any score gap swaps the polarity order (the worse
+// state is tried last); a gap at or beyond the prune threshold is
+// additionally counted in Stats.EstgPrunes as a decisive "soft prune".
+// The threshold deliberately has no effect on the search itself —
+// demote-to-last is the strongest sound response, because recorded
+// conflicts are search dead-ends under particular constraints, not
+// proofs, so actually skipping the alternative could lose solutions.
+const (
+	estgTransitionWeight = 4
+	estgPruneThreshold   = 8
+)
+
+// estgPolarity consults the learned store when the decision signal is
+// an abstract state bit: the polarity whose resulting abstract state
+// (and incoming transition) accumulated the higher conflict score is
+// tried last (§5: order decisions away from known-bad regions).
+func (e *Engine) estgPolarity(at sigAt, first bv.Trit) bv.Trit {
+	if e.store == nil || e.features.NoEstgGuide || e.ctlPos == nil {
+		return first
+	}
+	pos := e.ctlPos[at.sig]
+	if pos < 0 {
+		return first
+	}
+	s0, s1 := e.statePairScore(int(at.frame), int(pos))
+	sFirst, sSecond := s0, s1
+	if first == bv.One {
+		sFirst, sSecond = s1, s0
+	}
+	if sFirst > sSecond {
+		e.stats.EstgReorders++
+		if sFirst-sSecond >= estgPruneThreshold {
+			e.stats.EstgPrunes++
+		}
+		return complement(first)
+	}
+	return first
+}
+
+// statePairScore is the learned conflict score of the abstract state
+// at frame f with state bit pos hypothetically 0 and hypothetically 1:
+// the state's own conflict count plus the weighted conflict count of
+// the transition from the previous frame's state (when that one is
+// fully known). The shared key — previous-frame prefix, separator,
+// current state — is built once in pooled scratch and only the
+// hypothesized bit is flipped between the two lookups; nothing
+// allocates.
+func (e *Engine) statePairScore(f, pos int) (s0, s1 int) {
+	buf := e.guideBuf[:0]
+	prevKnown := f > 0
+	if prevKnown {
+		for _, ff := range e.controlFFs {
+			b := e.vals[f-1][e.nl.Gates[ff].Out].Bit(0)
+			if b == bv.X {
+				prevKnown = false
+				break
+			}
+			buf = append(buf, byte('0'+uint8(b)))
+		}
+	}
+	if !prevKnown {
+		buf = buf[:0]
+	} else {
+		buf = append(buf, 0)
+	}
+	cur := len(buf)
+	for _, ff := range e.controlFFs {
+		b := e.vals[f][e.nl.Gates[ff].Out].Bit(0)
+		buf = append(buf, byte('0'+uint8(b)))
+	}
+	e.guideBuf = buf
+	score := func(t bv.Trit) int {
+		buf[cur+pos] = byte('0' + uint8(t))
+		s := e.store.ConflictScore(buf[cur:])
+		if prevKnown {
+			s += estgTransitionWeight * e.store.TransitionScore(buf)
+		}
+		return s
+	}
+	return score(bv.Zero), score(bv.One)
 }
 
 func complement(t bv.Trit) bv.Trit {
@@ -441,6 +596,7 @@ func complement(t bv.Trit) bv.Trit {
 func (e *Engine) makeDomainDecision() *decision {
 	bestCount := 65
 	var bestAlts []alternative
+	bestFrame, bestSig := 0, netlist.SignalID(netlist.None)
 	e.EachDomain(func(d Domain) {
 		if d.Enumerate == nil {
 			return
@@ -471,6 +627,7 @@ func (e *Engine) makeDomainDecision() *decision {
 			}
 			bestCount = len(vals)
 			bestAlts = alts
+			bestFrame, bestSig = f, d.Sig
 		}
 	})
 	if bestAlts == nil {
@@ -478,6 +635,12 @@ func (e *Engine) makeDomainDecision() *decision {
 	}
 	d := e.getDecision()
 	d.alts = bestAlts
+	// The alternatives enumerate the feasible values *inside the
+	// current cube*: exhausting them refutes the cube, not the domain.
+	// Seed the conflict set with the levels that narrowed the cube, so
+	// a backjump never skips a level that could have widened the
+	// enumeration.
+	e.traceSignalInto(&d.confSet, bestFrame, bestSig)
 	return d
 }
 
@@ -491,15 +654,31 @@ func (e *Engine) EachDomain(fn func(Domain)) {
 }
 
 // makeFallbackDecision branches on a single unknown bit of a signal
-// feeding an unjustified gate. The candidate is the globally narrowest
-// unknown input across all unjustified gates — narrow signals are
-// select/address-like and prune the most per decision — and within it
-// the most significant unknown bit (word-level implication extracts
-// the most from high bits — cf. Rule 2).
+// feeding an unjustified gate. Candidate preference, in order:
+//
+//  1. highest conflict-activity score (branch inside the region that
+//     is currently producing conflicts — see bumpActivity; before the
+//     first conflict every score is zero and this tier is inert);
+//  2. latest frame — requirements sit at the last frame and implication
+//     flows backward through the registers, so a bit near the monitor
+//     both propagates into a smaller cone and conflicts sooner than a
+//     bit at frame 0 whose cone spans every later frame (measured on
+//     arbiter p5: 15× fewer implications than the frame-agnostic rule);
+//  3. narrowest signal — narrow signals are select/address-like and
+//     prune the most per decision.
+//
+// NoEstgGuide disables tiers 1 and 2 (the PR-3 ordering changes),
+// restoring the pre-PR-3 narrowest-first-encountered rule exactly, so
+// the ablation pair {NoBackjump, NoEstgGuide} reproduces the old
+// engine's search. Within the chosen signal the most significant
+// unknown bit is taken (word-level implication extracts the most from
+// high bits — cf. Rule 2).
 func (e *Engine) makeFallbackDecision(unjust []gateAt) *decision {
+	useGuided := !e.features.NoEstgGuide
 	bestSig := netlist.SignalID(netlist.None)
 	bestFrame := 0
 	bestW := 1 << 30
+	bestAct := 0.0
 	for _, u := range unjust {
 		g := &e.nl.Gates[u.gate]
 		f := int(u.frame)
@@ -508,8 +687,21 @@ func (e *Engine) makeFallbackDecision(unjust []gateAt) *decision {
 			if v.IsFullyKnown() {
 				continue
 			}
-			if w := e.nl.Width(s); w < bestW {
-				bestW, bestSig, bestFrame = w, s, f
+			w := e.nl.Width(s)
+			if !useGuided {
+				if w < bestW {
+					bestW, bestSig, bestFrame = w, s, f
+				}
+				continue
+			}
+			act := 0.0
+			if e.actScore != nil {
+				act = e.activityOf(sigAt{int32(f), s})
+			}
+			better := bestSig == netlist.None || act > bestAct ||
+				(act == bestAct && (f > bestFrame || (f == bestFrame && w < bestW)))
+			if better {
+				bestW, bestSig, bestFrame, bestAct = w, s, f, act
 			}
 		}
 	}

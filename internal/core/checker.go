@@ -77,7 +77,15 @@ type Options struct {
 	// (default 5000 decisions).
 	InductionDecisions int
 	// Store carries learned ESTG state across properties and depths.
+	// When nil, the checker creates a private store (so the deepening
+	// runs and the induction step of one Check still learn from each
+	// other) unless DisableLearnedStore is set; pass an explicit store
+	// to share learning across properties or checkers.
 	Store *estg.Store
+	// DisableLearnedStore turns off the default per-checker ESTG store
+	// (conflict recording, no-cex caching and ESTG-guided decision
+	// ordering). For ablation; ignored when Store is non-nil.
+	DisableLearnedStore bool
 	// SkipValidation disables counterexample replay (tests only).
 	SkipValidation bool
 	// DisableLocalFSM turns off the §6 local-FSM guidance (extraction
@@ -158,6 +166,9 @@ func New(nl *netlist.Netlist, opts Options) (*Checker, error) {
 		return nil, err
 	}
 	c := &Checker{nl: nl, opts: opts.withDefaults()}
+	if c.opts.Store == nil && !c.opts.DisableLearnedStore {
+		c.opts.Store = estg.NewStore()
+	}
 	if !c.opts.DisableLocalFSM {
 		key := fsmKey{nl, nl.NumGates()}
 		if cached, ok := fsmCache.Load(key); ok {
@@ -490,6 +501,10 @@ func addStats(a, b atpg.Stats) atpg.Stats {
 	a.FrontierScans += b.FrontierScans
 	a.FrontierChecks += b.FrontierChecks
 	a.FrontierSkips += b.FrontierSkips
+	a.Backjumps += b.Backjumps
+	a.LevelsSkipped += b.LevelsSkipped
+	a.EstgReorders += b.EstgReorders
+	a.EstgPrunes += b.EstgPrunes
 	if b.MaxTrail > a.MaxTrail {
 		a.MaxTrail = b.MaxTrail
 	}

@@ -17,11 +17,27 @@ package elab
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bv"
 	"repro/internal/netlist"
 	"repro/internal/verilog"
 )
+
+// sortedKeys returns a map's string keys in sorted order. Elaboration
+// iterates several maps while emitting gates; sorting those iterations
+// makes gate/signal order — and therefore downstream search statistics
+// like implication counts — identical across processes (Go randomizes
+// map iteration per process), which reproducible benchmarks and the
+// CI bench-smoke comparison rely on.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Elaborate flattens the design rooted at module top into a netlist.
 // paramOverrides overrides top-level parameters by name.
@@ -241,9 +257,9 @@ func (e *elaborator) newScope(mod *verilog.Module, prefix string, overrides map[
 	}
 	// Input ports: resolved from parent connections (or as primary
 	// inputs when top-level — handled in elabScope).
-	for name, drv := range parentConns {
+	for _, name := range sortedKeys(parentConns) {
 		if ni := sc.nets[name]; ni != nil && sc.inputs[name] {
-			ni.drivers = append(ni.drivers, drv)
+			ni.drivers = append(ni.drivers, parentConns[name])
 		}
 	}
 	// Instance output drivers.
@@ -256,7 +272,8 @@ func (e *elaborator) newScope(mod *verilog.Module, prefix string, overrides map[
 		if err != nil {
 			return nil, e.errf(sc, ii.ast.Line, "%v", err)
 		}
-		for port, ex := range conns {
+		for _, port := range sortedKeys(conns) {
+			ex := conns[port]
 			if ex == nil {
 				continue
 			}
@@ -430,7 +447,7 @@ func (e *elaborator) elabScope(sc *scope, isTop bool) error {
 	if err != nil {
 		return err
 	}
-	for name := range seqRegs {
+	for _, name := range sortedKeys(seqRegs) {
 		ni := sc.nets[name]
 		if ni == nil {
 			return e.errf(sc, sc.mod.Line, "sequential assignment to undeclared %q", name)
@@ -442,7 +459,7 @@ func (e *elaborator) elabScope(sc *scope, isTop bool) error {
 		ni.sig = e.nl.DffPlaceholder(ni.width, init, ni.full)
 		ni.state = nsResolved
 	}
-	for name := range seqMems {
+	for _, name := range sortedKeys(seqMems) {
 		mi := sc.mems[name]
 		for w := 0; w < mi.words; w++ {
 			full := fmt.Sprintf("%s%s[%d]", sc.prefix, name, w)
@@ -470,7 +487,7 @@ func (e *elaborator) elabScope(sc *scope, isTop bool) error {
 			}
 		}
 	}
-	for name := range sc.nets {
+	for _, name := range sortedKeys(sc.nets) {
 		if _, err := e.resolveNet(sc, name, sc.nets[name].line); err != nil {
 			return err
 		}

@@ -84,3 +84,98 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("count = %d, want 800", s.ConflictCount("x"))
 	}
 }
+
+func TestBoundedDecay(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 8; i++ {
+		s.RecordConflict("s")
+	}
+	s.RecordConflictTransition("a", "b")
+	s.RecordConflictTransition("a", "b")
+	if got := s.ConflictCount("s"); got != 8 {
+		t.Fatalf("pre-decay count = %d, want 8", got)
+	}
+	s.Decay()
+	if got := s.ConflictCount("s"); got != 4 {
+		t.Errorf("after one decay: %d, want 4", got)
+	}
+	if got := s.TransitionConflicts("a", "b"); got != 1 {
+		t.Errorf("transition after one decay: %d, want 1", got)
+	}
+	s.Decay()
+	s.Decay()
+	if got := s.ConflictCount("s"); got != 1 {
+		t.Errorf("after three decays: %d, want 1", got)
+	}
+	// Recording re-bases on the decayed value.
+	s.RecordConflict("s")
+	if got := s.ConflictCount("s"); got != 2 {
+		t.Errorf("re-based count = %d, want 2", got)
+	}
+	// A long-stale entry bottoms out at zero instead of wrapping.
+	for i := 0; i < 100; i++ {
+		s.Decay()
+	}
+	if got := s.ConflictCount("s"); got != 0 {
+		t.Errorf("fully decayed count = %d, want 0", got)
+	}
+}
+
+func TestByteKeyScores(t *testing.T) {
+	s := NewStore()
+	s.RecordConflict("0110")
+	s.RecordConflictTransition("01", "10")
+	if got := s.ConflictScore([]byte("0110")); got != 1 {
+		t.Errorf("ConflictScore = %d, want 1", got)
+	}
+	if got := s.TransitionScore([]byte("01\x0010")); got != 1 {
+		t.Errorf("TransitionScore = %d, want 1", got)
+	}
+	if got := s.TransitionScore([]byte("0\x00110")); got != 0 {
+		t.Errorf("TransitionScore with shifted separator = %d, want 0", got)
+	}
+}
+
+// TestConcurrentReadersWithDecay exercises the read-mostly hot path
+// the engine uses (score lookups on the decision path) against
+// concurrent recording and epoch decay; run under -race it checks the
+// RWMutex discipline of every read-side method.
+func TestConcurrentReadersWithDecay(t *testing.T) {
+	s := NewStore()
+	key := []byte("0101")
+	joined := []byte("0101\x001010")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.RecordConflict("0101")
+				s.RecordConflictTransition("0101", "1010")
+				if j%64 == 0 {
+					s.Decay()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				if s.ConflictScore(key) < 0 {
+					t.Error("negative conflict score")
+				}
+				if s.TransitionScore(joined) < 0 {
+					t.Error("negative transition score")
+				}
+				s.Stats()
+				s.Reachable("0101")
+			}
+		}()
+	}
+	wg.Wait()
+	if s.ConflictScore(key) == 0 && s.ConflictCount("0101") == 0 {
+		t.Error("conflicts vanished entirely")
+	}
+}

@@ -1,0 +1,88 @@
+// Bench smoke: a fast regression gate over the committed BENCH_PR3.json
+// baseline. The engine is deterministic end to end (the elaborator's
+// map iterations are sorted, the search breaks every tie explicitly),
+// so each Table-2 property's implication count is an exact, machine-
+// independent fingerprint of search behavior. The CI bench-smoke job
+// runs this without -short: a change that silently makes the search
+// work >10% harder on any pinned property fails here long before it
+// would show up as wall time.
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+)
+
+type smokeRow struct {
+	Verdict      string `json:"verdict"`
+	Implications int    `json:"implications"`
+	Decisions    int    `json:"decisions"`
+}
+
+type smokeBaseline struct {
+	Properties map[string]struct {
+		After smokeRow `json:"after"`
+	} `json:"properties"`
+}
+
+// TestBenchSmokeImplications re-checks every Table-2 property and fails
+// when its implication count exceeds the committed baseline by more
+// than 10%, or its verdict class changes. Improvements (fewer
+// implications) pass — update BENCH_PR3.json when landing one, so the
+// ratchet keeps tightening.
+func TestBenchSmokeImplications(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke runs in the dedicated CI job / full suite")
+	}
+	raw, err := os.ReadFile("BENCH_PR3.json")
+	if err != nil {
+		t.Fatalf("baseline missing: %v", err)
+	}
+	var base smokeBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("baseline unreadable: %v", err)
+	}
+	designs, err := circuits.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, d := range designs {
+		for i, p := range d.Props {
+			id := d.PropIDs[i]
+			name := d.Name + "_" + id
+			want, ok := base.Properties[name]
+			if !ok {
+				t.Errorf("%s: not in baseline", name)
+				continue
+			}
+			c, err := core.New(d.NL, core.Options{MaxDepth: tableDepth(id), UseInduction: true})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			res := c.Check(p)
+			checked++
+			if got := res.Verdict.String(); got != want.After.Verdict {
+				t.Errorf("%s: verdict %s, baseline %s", name, got, want.After.Verdict)
+			}
+			limit := want.After.Implications + want.After.Implications/10
+			if res.Stats.Implications > limit {
+				t.Errorf("%s: %d implications, >10%% over baseline %d",
+					name, res.Stats.Implications, want.After.Implications)
+			} else if res.Stats.Implications != want.After.Implications {
+				// Informational: deterministic counts should match the
+				// baseline exactly; a silent drift inside the tolerance
+				// band still deserves a note in the log.
+				t.Logf("%s: %d implications, baseline %d (within tolerance)",
+					name, res.Stats.Implications, want.After.Implications)
+			}
+		}
+	}
+	if checked != 14 {
+		t.Errorf("checked %d properties, want 14", checked)
+	}
+}
