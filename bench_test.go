@@ -28,19 +28,8 @@ import (
 	"repro/internal/property"
 )
 
-// tableDepth mirrors cmd/assertcheck's per-property frame bounds.
-func tableDepth(id string) int {
-	switch id {
-	case "p4":
-		return 8
-	case "p6", "p8":
-		return 4
-	case "p9":
-		return 8
-	default:
-		return 3
-	}
-}
+// tableDepth is the canonical per-property frame bound.
+func tableDepth(id string) int { return circuits.TableDepth(id) }
 
 func BenchmarkTable1Elaboration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

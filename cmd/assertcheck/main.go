@@ -1,8 +1,8 @@
 // Command assertcheck is the framework front door: it parses RTL
 // Verilog, elaborates it into a word-level netlist, and checks
 // assertion properties with the combined word-level ATPG + modular
-// arithmetic engine (or, for comparison, the SAT-BMC and BDD
-// baselines).
+// arithmetic engine — or with the SAT-BMC and BDD baselines, or a
+// concurrent portfolio racing all three.
 //
 // Usage:
 //
@@ -14,17 +14,28 @@
 //	assertcheck -stats design.v -top mod
 //	    Print netlist statistics for a design.
 //
-//	assertcheck design.v -top mod -invariant sig [-depth N] [-engine E]
-//	assertcheck design.v -top mod -witness sig [-depth N]
-//	    Check that one-bit signal sig is always 1 (invariant) or find
-//	    a trace driving it to 1 (witness). Engines: atpg (default),
-//	    bmc, bdd.
+//	assertcheck design.v -top mod -invariant a,b [-witness w] [-depth N]
+//	            [-engine E] [-jobs N] [-json]
+//	    Check that each listed one-bit signal is always 1 (invariant)
+//	    or find a trace driving it to 1 (witness). Engines: atpg
+//	    (default), bmc, bdd, or portfolio (race all three, first
+//	    conclusive verdict wins). Multiple properties are checked as a
+//	    batch on a -jobs worker pool; -json emits machine-readable
+//	    per-property results.
+//
+// Exit status: 0 when every property is proved (or proved-bounded /
+// witness-found), 3 when any property is falsified or a requested
+// witness does not exist, 4 when any check ends unknown
+// (resource-limited), 1 on errors, 2 on usage mistakes.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bmc"
 	"repro/internal/circuits"
@@ -36,16 +47,27 @@ import (
 	"repro/internal/verilog"
 )
 
+// Exit codes (documented in the package comment).
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitUsage     = 2
+	exitFalsified = 3
+	exitUnknown   = 4
+)
+
 func main() {
 	var (
 		tables    = flag.Bool("tables", false, "regenerate Tables 1 and 2 on the built-in suite")
 		stats     = flag.Bool("stats", false, "print netlist statistics")
 		top       = flag.String("top", "", "top module name")
-		invariant = flag.String("invariant", "", "1-bit signal that must always be 1")
-		witness   = flag.String("witness", "", "1-bit signal to drive to 1")
+		invariant = flag.String("invariant", "", "comma-separated 1-bit signals that must always be 1")
+		witness   = flag.String("witness", "", "comma-separated 1-bit signals to drive to 1")
 		depth     = flag.Int("depth", 16, "maximum number of time frames")
 		induction = flag.Bool("induction", true, "attempt a k-induction proof")
-		engine    = flag.String("engine", "atpg", "engine: atpg, bmc or bdd")
+		engine    = flag.String("engine", core.EngineATPG, "engine: atpg, bmc, bdd or portfolio")
+		jobs      = flag.Int("jobs", 1, "worker-pool size for multi-property batches")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results")
 	)
 	flag.Parse()
 
@@ -54,8 +76,8 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 || *top == "" {
-		fmt.Fprintln(os.Stderr, "usage: assertcheck [-tables] | design.v -top mod [-stats | -invariant sig | -witness sig]")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: assertcheck [-tables] | design.v -top mod [-stats | -invariant sigs | -witness sigs]")
+		os.Exit(exitUsage)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -73,65 +95,181 @@ func main() {
 		printStats(nl)
 		return
 	}
-	name, kind := *invariant, property.Invariant
-	if *witness != "" {
-		name, kind = *witness, property.Witness
-	}
-	if name == "" {
+	props := buildProps(nl, *invariant, *witness)
+	if len(props) == 0 {
 		fatal(fmt.Errorf("need -stats, -invariant or -witness"))
 	}
-	sig, ok := nl.SignalByName(name)
-	if !ok {
-		fatal(fmt.Errorf("no signal %q", name))
+
+	copts := core.Options{MaxDepth: *depth, UseInduction: *induction}
+	if *engine == core.EngineBMC || *engine == core.EngineBDD {
+		// The checker only supplies problem/worker-pool plumbing for the
+		// baseline engines; skip the ATPG-side startup (local-FSM
+		// extraction, learned store) they never read.
+		copts.DisableLocalFSM = true
+		copts.DisableLearnedStore = true
 	}
-	var p property.Property
-	if kind == property.Invariant {
-		p, err = property.NewInvariant(nl, name, sig)
-	} else {
-		p, err = property.NewWitness(nl, name, sig)
-	}
+	c, err := core.New(nl, copts)
 	if err != nil {
 		fatal(err)
 	}
-	switch *engine {
-	case "atpg":
-		c, err := core.New(nl, core.Options{MaxDepth: *depth, UseInduction: *induction})
-		if err != nil {
-			fatal(err)
+	eng, err := selectEngine(c, *engine)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	var results []core.Result
+	if len(props) == 1 && *jobs <= 1 {
+		// Serial single-property path: the memstats-measured Check for
+		// the default engine, a direct adapter call otherwise.
+		if eng == nil {
+			results = []core.Result{c.CheckCtx(ctx, props[0])}
+		} else {
+			results = []core.Result{eng.Check(ctx, core.Problem{NL: nl, Prop: props[0], MaxDepth: *depth})}
 		}
-		res := c.Check(p)
-		fmt.Printf("%s: %v (depth %d, %d decisions, %d implications, %v, %.2f MB allocated, %.2f allocs/implication, %.2f allocs/decision)\n",
-			p.Name, res.Verdict, res.Depth, res.Stats.Decisions,
-			res.Stats.Implications, res.Elapsed.Round(100000), float64(res.AllocBytes)/1e6,
-			res.AllocsPerImpl, res.AllocsPerDecision)
-		if res.Stats.FrontierScans > 0 {
-			fmt.Printf("  frontier: %d scans, %d gate checks, %d skipped (%.1f%% of a full-scan engine's work avoided)\n",
-				res.Stats.FrontierScans, res.Stats.FrontierChecks, res.Stats.FrontierSkips,
-				100*float64(res.Stats.FrontierSkips)/float64(res.Stats.FrontierChecks+res.Stats.FrontierSkips))
+	} else {
+		results = c.CheckAll(ctx, props, core.BatchOptions{Jobs: *jobs, Engine: eng})
+	}
+
+	if *jsonOut {
+		emitJSON(results)
+	} else {
+		for _, res := range results {
+			printResult(nl, res)
 		}
-		if res.Stats.Backtracks > 0 {
-			fmt.Printf("  conflicts: %d backtracks, %d backjumps skipping %d levels, %d estg reorders (%d past the prune threshold)\n",
-				res.Stats.Backtracks, res.Stats.Backjumps, res.Stats.LevelsSkipped,
-				res.Stats.EstgReorders, res.Stats.EstgPrunes)
+	}
+	os.Exit(exitCode(results))
+}
+
+// buildProps parses the comma-separated -invariant/-witness signal
+// lists into properties.
+func buildProps(nl *netlist.Netlist, invariants, witnesses string) []property.Property {
+	var props []property.Property
+	add := func(list string, kind property.Kind) {
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			sig, ok := nl.SignalByName(name)
+			if !ok {
+				fatal(fmt.Errorf("no signal %q", name))
+			}
+			var p property.Property
+			var err error
+			if kind == property.Invariant {
+				p, err = property.NewInvariant(nl, name, sig)
+			} else {
+				p, err = property.NewWitness(nl, name, sig)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			props = append(props, p)
 		}
-		if res.Trace != nil {
-			fmt.Print(res.Trace.Format(nl))
-		}
-	case "bmc":
-		res := bmc.Check(nl, p, bmc.Options{MaxDepth: *depth})
-		fmt.Printf("%s: %v (depth %d, %d vars, %d clauses, %d conflicts, %v)\n",
-			p.Name, res.Verdict, res.Depth, res.Vars, res.Clauses, res.Conflicts,
-			res.Elapsed.Round(100000))
-		if res.Trace != nil {
-			fmt.Print(res.Trace.Format(nl))
-		}
-	case "bdd":
-		res := mc.Check(nl, p, mc.Options{})
-		fmt.Printf("%s: %v (%d iterations, %d BDD nodes, %.0f reachable states, %v)\n",
-			p.Name, res.Verdict, res.Iters, res.PeakNodes, res.States,
-			res.Elapsed.Round(100000))
+	}
+	add(invariants, property.Invariant)
+	add(witnesses, property.Witness)
+	return props
+}
+
+// selectEngine maps the -engine flag to an Engine; nil selects the
+// checker's default memstats-measured ATPG path.
+func selectEngine(c *core.Checker, name string) (core.Engine, error) {
+	switch name {
+	case core.EngineATPG:
+		return nil, nil
+	case core.EngineBMC:
+		return core.NewBMCEngine(bmc.Options{}), nil
+	case core.EngineBDD:
+		return core.NewBDDEngine(mc.Options{}), nil
+	case core.EnginePortfolio:
+		return c.Portfolio(), nil
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+// exitCode folds per-property verdicts into the process exit status:
+// any falsification dominates, then any unknown, then success.
+func exitCode(results []core.Result) int {
+	code := exitOK
+	for _, res := range results {
+		switch res.Verdict {
+		case core.VerdictFalsified, core.VerdictNoWitness:
+			return exitFalsified
+		case core.VerdictUnknown:
+			code = exitUnknown
+		}
+	}
+	return code
+}
+
+// printResult renders one result the same way for every engine:
+// verdict, engine attribution, depth, elapsed time and the unified
+// effort counters, with the ATPG-specific detail lines following when
+// the ATPG engine ran.
+func printResult(nl *netlist.Netlist, res core.Result) {
+	m := res.Metrics
+	fmt.Printf("%s: %v [%s] (depth %d, %d decisions, %d conflicts, %d implications, %d mem units, %v",
+		res.Property, res.Verdict, res.Engine, res.Depth,
+		m.Decisions, m.Conflicts, m.Implications, m.MemUnits,
+		res.Elapsed.Round(100000))
+	if res.AllocBytes > 0 {
+		fmt.Printf(", %.2f MB allocated, %.2f allocs/implication, %.2f allocs/decision",
+			float64(res.AllocBytes)/1e6, res.AllocsPerImpl, res.AllocsPerDecision)
+	}
+	fmt.Println(")")
+	if res.Stats.FrontierScans > 0 {
+		fmt.Printf("  frontier: %d scans, %d gate checks, %d skipped (%.1f%% of a full-scan engine's work avoided)\n",
+			res.Stats.FrontierScans, res.Stats.FrontierChecks, res.Stats.FrontierSkips,
+			100*float64(res.Stats.FrontierSkips)/float64(res.Stats.FrontierChecks+res.Stats.FrontierSkips))
+	}
+	if res.Stats.Backtracks > 0 {
+		fmt.Printf("  conflicts: %d backtracks, %d backjumps skipping %d levels, %d estg reorders (%d past the prune threshold)\n",
+			res.Stats.Backtracks, res.Stats.Backjumps, res.Stats.LevelsSkipped,
+			res.Stats.EstgReorders, res.Stats.EstgPrunes)
+	}
+	if res.Trace != nil {
+		fmt.Print(res.Trace.Format(nl))
+	}
+}
+
+// jsonResult is the machine-readable per-property record -json emits.
+type jsonResult struct {
+	Property     string `json:"property"`
+	Engine       string `json:"engine"`
+	Verdict      string `json:"verdict"`
+	Depth        int    `json:"depth"`
+	ElapsedNs    int64  `json:"elapsed_ns"`
+	Decisions    int64  `json:"decisions"`
+	Conflicts    int64  `json:"conflicts"`
+	Implications int64  `json:"implications"`
+	MemUnits     int64  `json:"mem_units"`
+	AllocBytes   uint64 `json:"alloc_bytes,omitempty"`
+	Validated    bool   `json:"validated"`
+}
+
+func emitJSON(results []core.Result) {
+	out := make([]jsonResult, len(results))
+	for i, res := range results {
+		out[i] = jsonResult{
+			Property:     res.Property,
+			Engine:       res.Engine,
+			Verdict:      res.Verdict.String(),
+			Depth:        res.Depth,
+			ElapsedNs:    res.Elapsed.Nanoseconds(),
+			Decisions:    res.Metrics.Decisions,
+			Conflicts:    res.Metrics.Conflicts,
+			Implications: res.Metrics.Implications,
+			MemUnits:     res.Metrics.MemUnits,
+			AllocBytes:   res.AllocBytes,
+			Validated:    res.Validated,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 
@@ -159,7 +297,7 @@ func runTables() {
 	for _, d := range designs {
 		for i, p := range d.Props {
 			id := d.PropIDs[i]
-			c, err := core.New(d.NL, core.Options{MaxDepth: tableDepth(id), UseInduction: true})
+			c, err := core.New(d.NL, core.Options{MaxDepth: circuits.TableDepth(id), UseInduction: true})
 			if err != nil {
 				fatal(err)
 			}
@@ -170,22 +308,7 @@ func runTables() {
 	}
 }
 
-// tableDepth mirrors the per-property bounds used across the test and
-// benchmark suites (EXPERIMENTS.md documents the choices).
-func tableDepth(id string) int {
-	switch id {
-	case "p4":
-		return 10
-	case "p6", "p8":
-		return 4
-	case "p9":
-		return 8
-	default:
-		return 3
-	}
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "assertcheck:", err)
-	os.Exit(1)
+	os.Exit(exitError)
 }

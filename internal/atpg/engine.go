@@ -12,6 +12,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -151,6 +152,12 @@ type Engine struct {
 
 	stats    Stats
 	deadline time.Time
+	// ctx, when non-nil, cancels the search cooperatively: the Solve
+	// loop polls ctx.Err() once per decision/backtrack round (the
+	// check-interval budget) and returns StatusAbort when cancelled.
+	// Polling never mutates search state, so an uncancelled context
+	// leaves decision/implication counts bit-identical.
+	ctx context.Context
 	// requirements recorded for re-imply after backtracking
 	reqs []requirement
 	// incomplete is set when a branch is abandoned for engine
@@ -785,6 +792,29 @@ func (e *Engine) stateKey(frame int) string {
 // timedOut reports whether the deadline passed.
 func (e *Engine) timedOut() bool {
 	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+}
+
+// SetContext installs a cancellation context: Solve returns StatusAbort
+// promptly (within one decision/backtrack round) after ctx is
+// cancelled. A nil or never-cancellable context changes nothing about
+// the search — the poll is read-only — so the default single-engine
+// path stays bit-identical with or without one.
+func (e *Engine) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		// Never cancellable (Background, TODO, value-only chains):
+		// skip the per-round poll entirely.
+		ctx = nil
+	}
+	e.ctx = ctx
+}
+
+// stopped reports whether the search must abort: the context was
+// cancelled or the wall-clock deadline passed.
+func (e *Engine) stopped() bool {
+	if e.ctx != nil && e.ctx.Err() != nil {
+		return true
+	}
+	return e.timedOut()
 }
 
 // SuccessorSet computes the candidate successor values of a register:

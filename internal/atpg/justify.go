@@ -109,7 +109,7 @@ func (e *Engine) Solve() Status {
 		return StatusUnsat
 	}
 	for {
-		if e.timedOut() || e.stats.Decisions > e.limits.MaxDecisions || e.stats.Backtracks > e.limits.MaxBacktracks {
+		if e.stopped() || e.stats.Decisions > e.limits.MaxDecisions || e.stats.Backtracks > e.limits.MaxBacktracks {
 			return StatusAbort
 		}
 		unjust := e.unjustifiedGates()

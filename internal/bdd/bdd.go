@@ -42,11 +42,29 @@ type Manager struct {
 	apply    map[applyKey]Ref
 	nVars    int
 	MaxNodes int // 0 = unlimited; exceeded operations panic with ErrNodeLimit
+	// Interrupt, when non-nil, is polled every interruptInterval node
+	// allocations; returning true panics with ErrInterrupted. Because
+	// the poll sits inside mk, cancellation lands even in the middle of
+	// a single huge apply — the operation a per-iteration check could
+	// never escape. The model checker recovers the panic into an
+	// Unknown verdict.
+	Interrupt func() bool
+	allocs    int
 }
 
 // ErrNodeLimit is panicked (and recovered by the model checker) when
 // MaxNodes is exceeded — the BDD blow-up signal.
 var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded")
+
+// ErrInterrupted is panicked (and recovered by the model checker) when
+// Interrupt reports cancellation mid-operation.
+var ErrInterrupted = fmt.Errorf("bdd: interrupted")
+
+// interruptInterval is how many node allocations pass between Interrupt
+// polls: rare enough to stay off the profile, frequent enough that a
+// blow-up-bound operation (thousands of allocations per millisecond)
+// observes cancellation within microseconds.
+const interruptInterval = 4096
 
 // New returns a manager with n variables (levels 0..n-1).
 func New(n int) *Manager {
@@ -80,6 +98,10 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	}
 	if m.MaxNodes > 0 && len(m.nodes) >= m.MaxNodes {
 		panic(ErrNodeLimit)
+	}
+	m.allocs++
+	if m.allocs%interruptInterval == 0 && m.Interrupt != nil && m.Interrupt() {
+		panic(ErrInterrupted)
 	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, key)

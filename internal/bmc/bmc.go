@@ -7,6 +7,7 @@
 package bmc
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/bv"
@@ -38,16 +39,24 @@ func (v Verdict) String() string {
 	}
 }
 
-// Result reports the BMC outcome with effort statistics.
+// Result reports the BMC outcome with effort statistics. Elapsed and
+// the resource counters mirror what the ATPG checker reports, so the
+// engine-agnostic layer (internal/core) can present the two uniformly.
 type Result struct {
-	Verdict   Verdict
-	Depth     int
-	Trace     *sim.Trace
-	Conflicts int64
-	Decisions int64
-	Vars      int
-	Clauses   int
-	Elapsed   time.Duration
+	Verdict Verdict
+	Depth   int
+	Trace   *sim.Trace
+	// InitState pins the model's frame-0 values of registers whose
+	// declared initial value is not fully known, so a counterexample
+	// trace replays deterministically on the three-valued simulator
+	// (the ATPG checker extracts the same map).
+	InitState    map[netlist.SignalID]bv.BV
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Vars         int
+	Clauses      int
+	Elapsed      time.Duration
 }
 
 // Options bounds the run.
@@ -59,12 +68,23 @@ type Options struct {
 // Check searches for a counterexample to the property up to MaxDepth
 // frames. Witness properties search for the monitor at 1 instead of 0.
 func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
+	return CheckCtx(context.Background(), nl, p, opts)
+}
+
+// CheckCtx is Check under a cancellation context: the CDCL search polls
+// ctx between unit-propagation rounds (see sat.Solver.Stop) and between
+// depths, so a cancelled run returns Unknown promptly instead of
+// exhausting its conflict budget.
+func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opts Options) Result {
 	start := time.Now()
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 16
 	}
 	s := sat.NewSolver()
 	s.MaxConflicts = opts.MaxConflicts
+	if ctx.Done() != nil { // cancellable: install the CDCL stop hook
+		s.Stop = func() bool { return ctx.Err() != nil }
+	}
 	b := cnf.New(nl, s)
 	b.PinInit()
 	target := false // invariant: look for monitor = 0
@@ -73,6 +93,11 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
 	}
 	res := Result{Verdict: BoundedOK}
 	for depth := 1; depth <= opts.MaxDepth; depth++ {
+		if ctx.Err() != nil {
+			res.Verdict = Unknown
+			res.Depth = depth - 1
+			break
+		}
 		if err := b.BlastFrame(depth - 1); err != nil {
 			res.Verdict = Unknown
 			break
@@ -101,6 +126,13 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
 					tr.Inputs[f][pi] = b.ModelValue(f, pi)
 				}
 			}
+			res.InitState = map[netlist.SignalID]bv.BV{}
+			for _, ff := range nl.FFs {
+				g := &nl.Gates[ff]
+				if g.Init.IsAllX() || !g.Init.IsFullyKnown() {
+					res.InitState[g.Out] = b.ModelValue(0, g.Out)
+				}
+			}
 			res.Verdict = Falsified
 			res.Depth = depth
 			res.Trace = tr
@@ -113,8 +145,7 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
 		res.Depth = depth
 	}
 done:
-	d, _, c := s.Stats()
-	res.Decisions, res.Conflicts = d, c
+	res.Decisions, res.Propagations, res.Conflicts = s.Stats()
 	res.Vars = s.NumVars()
 	res.Clauses = s.NumClauses()
 	res.Elapsed = time.Since(start)

@@ -35,6 +35,23 @@ func (d *Design) Lines() int {
 	return len(strings.Split(strings.TrimSpace(d.Source), "\n"))
 }
 
+// TableDepth returns the frame bound used for a Table-2 property id —
+// the single source of truth shared by cmd/assertcheck, the root
+// benchmark/smoke suites and the batch tests (EXPERIMENTS.md documents
+// the per-property choices).
+func TableDepth(id string) int {
+	switch id {
+	case "p4":
+		return 8
+	case "p6", "p8":
+		return 4
+	case "p9":
+		return 8
+	default:
+		return 3
+	}
+}
+
 func build(name, src, top string) (*netlist.Netlist, error) {
 	ast, err := verilog.Parse(src)
 	if err != nil {

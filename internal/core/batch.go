@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/property"
+)
+
+// BatchOptions tunes CheckAll.
+type BatchOptions struct {
+	// Jobs is the worker-pool size (0 = GOMAXPROCS). It bounds how many
+	// properties are checked concurrently; a portfolio engine multiplies
+	// that by its member count in goroutines, but each worker still
+	// occupies one batch slot.
+	Jobs int
+	// Engine selects the decision procedure each worker runs. Nil means
+	// this checker's ATPG path (equivalent to passing c.ATPGEngine());
+	// pass c.Portfolio() to race engines per property, or any custom
+	// Engine. Engines derived from the checker share its learned ESTG
+	// store, so concurrent workers feed each other's decision guidance.
+	Engine Engine
+}
+
+// CheckAll checks a batch of properties concurrently on a bounded
+// worker pool and returns the results in input order (results[i]
+// belongs to props[i], whatever order the workers finish in).
+// Cancelling ctx stops the batch: queued properties return
+// VerdictUnknown without starting, and in-flight engines observe the
+// cancellation through their own ctx plumbing.
+//
+// Per-result AllocBytes/AllocObjects stay zero in batch mode: the
+// memstats deltas Check reports are process-wide, so with concurrent
+// workers they would misattribute each other's allocations.
+func (c *Checker) CheckAll(ctx context.Context, props []property.Property, opts BatchOptions) []Result {
+	results := make([]Result, len(props))
+	if len(props) == 0 {
+		return results
+	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = c.ATPGEngine()
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(props) {
+		jobs = len(props)
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					results[i] = Result{
+						Property: props[i].Name,
+						Verdict:  VerdictUnknown,
+						Engine:   eng.Name(),
+					}
+					continue
+				}
+				results[i] = eng.Check(ctx, Problem{
+					NL: c.nl, Prop: props[i], MaxDepth: c.opts.MaxDepth,
+				})
+			}
+		}()
+	}
+	for i := range props {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -112,6 +113,12 @@ func (o Options) withDefaults() Options {
 type Result struct {
 	Property string
 	Verdict  Verdict
+	// Engine names the engine that produced the verdict ("atpg", "bmc",
+	// "bdd", or the portfolio winner's name).
+	Engine string
+	// Metrics unifies the effort counters across engines; Stats below
+	// keeps the full ATPG detail when the ATPG engine ran.
+	Metrics EngineMetrics
 	// Depth is the number of frames of the decisive run (length of the
 	// counterexample, or the exhausted bound).
 	Depth int
@@ -220,10 +227,21 @@ func (c *Checker) Netlist() *netlist.Netlist { return c.nl }
 
 // Check runs the Fig. 1 loop for one property.
 func (c *Checker) Check(p property.Property) Result {
+	return c.CheckCtx(context.Background(), p)
+}
+
+// CheckCtx is Check under a cancellation context: the ATPG search, the
+// deepening loop and the induction step all observe ctx and return
+// VerdictUnknown promptly after cancellation. The allocation columns
+// are measured from process-wide memstats (two stop-the-world reads),
+// so they are only attributable when checks run one at a time;
+// concurrent callers (CheckAll workers, portfolio members) go through
+// checkQuiet instead and leave them zero.
+func (c *Checker) CheckCtx(ctx context.Context, p property.Property) Result {
 	start := time.Now()
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
-	res := c.check(p)
+	res := c.check(ctx, p)
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 	res.AllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
@@ -239,7 +257,27 @@ func (c *Checker) Check(p property.Property) Result {
 	return res
 }
 
-func (c *Checker) check(p property.Property) Result {
+// checkQuiet is CheckCtx without the memstats reads: the variant used
+// when several checks run concurrently, where a process-global
+// allocation delta would misattribute the other workers' allocations
+// (and the stop-the-world reads would serialize them).
+func (c *Checker) checkQuiet(ctx context.Context, p property.Property) Result {
+	start := time.Now()
+	res := c.check(ctx, p)
+	res.Elapsed = time.Since(start)
+	res.Property = p.Name
+	return res
+}
+
+func (c *Checker) check(ctx context.Context, p property.Property) Result {
+	res := c.checkSearch(ctx, p)
+	res.Engine = EngineATPG
+	res.Metrics = metricsFromATPG(res.Stats)
+	return res
+}
+
+// checkSearch is the Fig. 1 deepening loop proper.
+func (c *Checker) checkSearch(ctx context.Context, p property.Property) Result {
 	mode := atpg.ModeProve
 	target := bv.FromUint64(1, 0) // counterexample: monitor driven to 0
 	if p.Kind == property.Witness {
@@ -253,6 +291,10 @@ func (c *Checker) check(p property.Property) Result {
 		deadline = time.Now().Add(c.opts.Limits.Timeout)
 	}
 	for depth := c.opts.MinDepth; depth <= c.opts.MaxDepth; depth++ {
+		if ctx.Err() != nil {
+			aborted = true
+			break
+		}
 		if c.opts.Store != nil && c.opts.Store.KnownNoCex(p.Name, depth) {
 			continue
 		}
@@ -269,6 +311,7 @@ func (c *Checker) check(p property.Property) Result {
 		if err != nil {
 			return Result{Verdict: VerdictUnknown, Depth: depth, Stats: agg}
 		}
+		eng.SetContext(ctx)
 		c.addDomains(eng, false)
 		ok := eng.Require(depth-1, p.Monitor, target)
 		for f := 0; f < depth && ok; f++ {
@@ -291,7 +334,7 @@ func (c *Checker) check(p property.Property) Result {
 			tr, init := c.extractTrace(eng, depth)
 			validated := true
 			if !c.opts.SkipValidation {
-				validated = c.validate(p, tr, init, depth, target)
+				validated = replayValidates(c.nl, p, tr, init, depth, target)
 			}
 			if validated {
 				v := VerdictFalsified
@@ -329,12 +372,19 @@ func (c *Checker) check(p property.Property) Result {
 	if p.Kind == property.Witness {
 		return Result{Verdict: VerdictNoWitness, Depth: c.opts.MaxDepth, Stats: agg}
 	}
-	if c.opts.UseInduction {
-		if st, stats := c.inductionStep(p, c.opts.MaxDepth); st == atpg.StatusUnsat {
+	if c.opts.UseInduction && ctx.Err() == nil {
+		if st, stats := c.inductionStep(ctx, p, c.opts.MaxDepth); st == atpg.StatusUnsat {
 			agg = addStats(agg, stats)
 			return Result{Verdict: VerdictProved, Depth: c.opts.MaxDepth, Stats: agg}
 		} else {
 			agg = addStats(agg, stats)
+		}
+		if ctx.Err() != nil {
+			// Cancelled mid-induction: the bounded phase did complete,
+			// but the Engine contract promises Unknown for a cancelled
+			// check (a portfolio loser must not report a verdict for a
+			// run it never finished).
+			return Result{Verdict: VerdictUnknown, Depth: c.opts.MaxDepth, Stats: agg}
 		}
 	}
 	return Result{Verdict: VerdictProvedBounded, Depth: c.opts.MaxDepth, Stats: agg}
@@ -373,7 +423,7 @@ func (c *Checker) coneIsCombinational(p property.Property) bool {
 // initial registers) in which the monitor holds for k consecutive
 // frames, no transition reaches a violating frame. Unsat means the
 // bounded base case extends to a full proof.
-func (c *Checker) inductionStep(p property.Property, k int) (atpg.Status, atpg.Stats) {
+func (c *Checker) inductionStep(ctx context.Context, p property.Property, k int) (atpg.Status, atpg.Stats) {
 	limits := c.opts.Limits
 	limits.MaxDecisions = c.opts.InductionDecisions
 	if limits.MaxDecisions == 0 {
@@ -386,6 +436,7 @@ func (c *Checker) inductionStep(p property.Property, k int) (atpg.Status, atpg.S
 	// (removing constraints preserves Unsat), and we skip the expensive
 	// constructive justification of the hypothesis frames.
 	if pre, err := atpg.NewWithFeatures(c.nl, 1, atpg.ModeProve, limits, c.opts.Store, true, c.opts.Features); err == nil {
+		pre.SetContext(ctx)
 		c.addDomains(pre, true)
 		ok := pre.Require(0, p.Monitor, bv.FromUint64(1, 0))
 		for _, a := range p.Assumes {
@@ -402,6 +453,7 @@ func (c *Checker) inductionStep(p property.Property, k int) (atpg.Status, atpg.S
 	if err != nil {
 		return atpg.StatusAbort, atpg.Stats{}
 	}
+	eng.SetContext(ctx)
 	// Strengthen the any-state start with the fixpoint reachable sets —
 	// states outside a local FSM's STG are unreachable, so excluding
 	// them preserves soundness and often makes the step inductive.
@@ -448,11 +500,13 @@ func (c *Checker) extractTrace(eng *atpg.Engine, depth int) (*sim.Trace, map[net
 	return tr, init
 }
 
-// validate replays the trace on the simulator and confirms the monitor
-// takes the target value at the final frame while every assumption
-// holds throughout.
-func (c *Checker) validate(p property.Property, tr *sim.Trace, init map[netlist.SignalID]bv.BV, depth int, target bv.BV) bool {
-	s, err := sim.New(c.nl)
+// replayValidates replays a counterexample/witness trace on the
+// three-valued simulator and confirms the monitor takes the target
+// value at the final frame while every assumption holds throughout. It
+// is shared by the ATPG checker and the engine adapters (a BMC trace is
+// validated exactly the same way an ATPG trace is).
+func replayValidates(nl *netlist.Netlist, p property.Property, tr *sim.Trace, init map[netlist.SignalID]bv.BV, depth int, target bv.BV) bool {
+	s, err := sim.New(nl)
 	if err != nil {
 		return false
 	}
@@ -463,7 +517,6 @@ func (c *Checker) validate(p property.Property, tr *sim.Trace, init map[netlist.
 		}
 	}
 	okAll := true
-	cycle := 0
 	for t := 0; t < depth; t++ {
 		for sig, v := range tr.Inputs[t] {
 			if s.SetInput(sig, v) != nil {
@@ -484,11 +537,6 @@ func (c *Checker) validate(p property.Property, tr *sim.Trace, init map[netlist.
 			}
 		}
 		s.Step()
-		cycle++
-	}
-	if c.opts.Store != nil && okAll {
-		// Feed reachable states back into the learned store.
-		_ = cycle
 	}
 	return okAll
 }

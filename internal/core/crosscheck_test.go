@@ -1,11 +1,17 @@
 package core
 
 import (
+	"context"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/atpg"
 	"repro/internal/bmc"
 	"repro/internal/bv"
+	"repro/internal/circuits"
+	"repro/internal/mc"
 	"repro/internal/netlist"
 	"repro/internal/property"
 )
@@ -141,5 +147,283 @@ func TestCrossCheckWitnessDepths(t *testing.T) {
 	}
 	if checked < 10 {
 		t.Skipf("only %d falsifiable circuits generated", checked)
+	}
+}
+
+// TestCrossCheckThreeWayEngines runs random sequential netlists through
+// all three engines via the unified Engine adapters and checks the
+// verdicts are mutually consistent. The consistency relation accounts
+// for the engines' different completeness: ATPG and BMC are bounded to
+// depth frames, the BDD engine is unbounded reachability, so a BDD
+// counterexample deeper than the bound is consistent with a bounded
+// proof.
+func TestCrossCheckThreeWayEngines(t *testing.T) {
+	trials := 80
+	if testing.Short() {
+		trials = 30
+	}
+	const depth = 4
+	engines := []Engine{
+		NewATPGEngine(Options{MaxDepth: depth}),
+		NewBMCEngine(bmc.Options{MaxDepth: depth}),
+		NewBDDEngine(mc.Options{}),
+	}
+	r := rand.New(rand.NewSource(4242))
+	agree := 0
+	for trial := 0; trial < trials; trial++ {
+		nl, mon := randomSequential(r)
+		if err := nl.Validate(); err != nil {
+			continue
+		}
+		p, err := property.NewInvariant(nl, "rand3", mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prob := Problem{NL: nl, Prop: p, MaxDepth: depth}
+		res := make([]Result, len(engines))
+		for i, eng := range engines {
+			res[i] = eng.Check(context.Background(), prob)
+			if res[i].Engine != eng.Name() {
+				t.Fatalf("trial %d: result attributed to %q, engine is %q", trial, res[i].Engine, eng.Name())
+			}
+		}
+		av, bv_, dv := res[0], res[1], res[2]
+		if av.Verdict == VerdictUnknown || bv_.Verdict == VerdictUnknown || dv.Verdict == VerdictUnknown {
+			continue // resource-limited: no claim to compare
+		}
+		switch av.Verdict {
+		case VerdictFalsified:
+			if !av.Validated {
+				t.Fatalf("trial %d: atpg cex failed validation", trial)
+			}
+			if bv_.Verdict != VerdictFalsified {
+				t.Fatalf("trial %d: atpg falsified (depth %d), bmc %v", trial, av.Depth, bv_.Verdict)
+			}
+			if !bv_.Validated {
+				t.Fatalf("trial %d: bmc cex failed validation", trial)
+			}
+			if bv_.Depth != av.Depth {
+				t.Fatalf("trial %d: shortest cex depth differs: atpg %d, bmc %d", trial, av.Depth, bv_.Depth)
+			}
+			if dv.Verdict != VerdictFalsified {
+				t.Fatalf("trial %d: atpg falsified, bdd %v", trial, dv.Verdict)
+			}
+			// BDD reports the image iteration that first hit a bad
+			// state: a cex of depth d frames appears at iteration d-1.
+			if dv.Depth+1 != av.Depth {
+				t.Fatalf("trial %d: cex depth differs: atpg %d frames, bdd iteration %d", trial, av.Depth, dv.Depth)
+			}
+		case VerdictProved:
+			// A full ATPG proof: BDD reachability must also prove; BMC
+			// can only ever report bounded.
+			if bv_.Verdict != VerdictProvedBounded {
+				t.Fatalf("trial %d: atpg proved, bmc %v", trial, bv_.Verdict)
+			}
+			if dv.Verdict != VerdictProved {
+				t.Fatalf("trial %d: atpg proved, bdd %v", trial, dv.Verdict)
+			}
+		case VerdictProvedBounded:
+			if bv_.Verdict != VerdictProvedBounded {
+				t.Fatalf("trial %d: atpg proved-bounded, bmc %v", trial, bv_.Verdict)
+			}
+			// The unbounded BDD engine may prove outright, or find a
+			// counterexample deeper than the bound — both consistent.
+			if dv.Verdict == VerdictFalsified && dv.Depth+1 <= depth {
+				t.Fatalf("trial %d: atpg proved-bounded at %d, bdd cex at depth %d", trial, depth, dv.Depth+1)
+			}
+		}
+		agree++
+	}
+	if agree < trials*2/3 {
+		t.Errorf("only %d/%d trials produced comparable verdicts", agree, trials)
+	}
+}
+
+// TestEngineCancellationPrompt pins the tentpole's cancellation
+// contract on each real engine: on an instance whose uncancelled
+// search runs for many seconds, cancelling the context makes Check
+// return VerdictUnknown within its check-interval budget — far sooner
+// than the search could have completed.
+func TestEngineCancellationPrompt(t *testing.T) {
+	// Generous CI budget; the uncancelled searches below all run >6s
+	// on this hardware (and far longer under -race), so a return
+	// within the budget demonstrates the cancellation path, not a
+	// completed search.
+	const cancelAfter = 250 * time.Millisecond
+	const returnBudget = 5 * time.Second
+
+	slowArbiter := func(t *testing.T) *circuits.Design {
+		d, err := circuits.Arbiter(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name  string
+		build func(t *testing.T) (Engine, Problem)
+	}{
+		{"atpg", func(t *testing.T) (Engine, Problem) {
+			// The pre-PR-3 engine (ablated backjumping/guidance) needs
+			// >8s on the depth-3 arbiter induction proof.
+			d, err := circuits.Arbiter(24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewATPGEngine(Options{MaxDepth: 3, UseInduction: true,
+				Features: atpg.Features{NoBackjump: true, NoEstgGuide: true}})
+			return eng, Problem{NL: d.NL, Prop: d.Props[0], MaxDepth: 3}
+		}},
+		{"bmc", func(t *testing.T) (Engine, Problem) {
+			// Bit-blasting the 48-requester arbiter to 24 frames keeps
+			// the CDCL solver busy long past the budget.
+			d := slowArbiter(t)
+			return NewBMCEngine(bmc.Options{MaxDepth: 24}), Problem{NL: d.NL, Prop: d.Props[0], MaxDepth: 24}
+		}},
+		{"bdd", func(t *testing.T) (Engine, Problem) {
+			// Squaring feedback makes the transition relation a
+			// multiplier BDD — it churns tens of millions of nodes
+			// before the raised node budget could stop it.
+			nl := netlist.New("mulfb")
+			q := nl.DffPlaceholder(28, bv.FromUint64(28, 3), "q")
+			sq := nl.Binary(netlist.KMul, q, q)
+			nl.ConnectDff(q, nl.Binary(netlist.KAdd, sq, nl.ConstUint(28, 1)))
+			pb := property.Builder{NL: nl}
+			p, err := property.NewInvariant(nl, "mulfb", pb.NeverValue(q, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewBDDEngine(mc.Options{MaxNodes: 1 << 26}), Problem{NL: nl, Prop: p}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng, prob := tc.build(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(cancelAfter)
+				cancel()
+			}()
+			start := time.Now()
+			res := eng.Check(ctx, prob)
+			elapsed := time.Since(start)
+			cancel()
+			if res.Verdict != VerdictUnknown {
+				t.Fatalf("%s: cancelled check returned %v, want unknown", tc.name, res.Verdict)
+			}
+			if elapsed > returnBudget {
+				t.Fatalf("%s: cancelled check took %v, budget %v", tc.name, elapsed, returnBudget)
+			}
+		})
+	}
+}
+
+// blockingEngine is a synthetic portfolio member that never concludes
+// on its own: it blocks until its context is cancelled, then records
+// whether it observed the cancellation (as opposed to completing).
+type blockingEngine struct {
+	name          string
+	sawCancel     atomic.Bool
+	startedOrDone chan struct{}
+}
+
+func (e *blockingEngine) Name() string { return e.name }
+
+func (e *blockingEngine) Check(ctx context.Context, prob Problem) EngineResult {
+	close(e.startedOrDone)
+	<-ctx.Done()
+	e.sawCancel.Store(true)
+	return Result{Property: prob.Prop.Name, Verdict: VerdictUnknown, Engine: e.name}
+}
+
+// quickEngine concludes after its blocking peers have started.
+type quickEngine struct {
+	name      string
+	verdict   Verdict
+	validated bool
+	waitFor   []*blockingEngine
+}
+
+func (e *quickEngine) Name() string { return e.name }
+
+func (e *quickEngine) Check(ctx context.Context, prob Problem) EngineResult {
+	for _, b := range e.waitFor {
+		<-b.startedOrDone
+	}
+	return Result{Property: prob.Prop.Name, Verdict: e.verdict, Engine: e.name, Validated: e.validated}
+}
+
+// TestPortfolioCancelsLosers pins the portfolio contract with
+// deterministic synthetic engines: once one member returns a
+// conclusive verdict, the others' contexts are cancelled, they return
+// without concluding, and the winner's result is selected even though
+// it is not the highest-priority member.
+func TestPortfolioCancelsLosers(t *testing.T) {
+	nl := netlist.New("pf")
+	mon := nl.Unary(netlist.KBuf, nl.AddInput("m", 1))
+	p, err := property.NewInvariant(nl, "pf-prop", mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loserA := &blockingEngine{name: "loser-a", startedOrDone: make(chan struct{})}
+	loserB := &blockingEngine{name: "loser-b", startedOrDone: make(chan struct{})}
+	winner := &quickEngine{name: "winner", verdict: VerdictProved, waitFor: []*blockingEngine{loserA, loserB}}
+	pf := NewPortfolio(loserA, winner, loserB)
+	start := time.Now()
+	res := pf.Check(context.Background(), Problem{NL: nl, Prop: p})
+	if res.Verdict != VerdictProved || res.Engine != "winner" {
+		t.Fatalf("portfolio returned %v [%s], want proved [winner]", res.Verdict, res.Engine)
+	}
+	if !loserA.sawCancel.Load() || !loserB.sawCancel.Load() {
+		t.Fatal("losing engines did not observe ctx cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("portfolio took %v; losers were not cancelled promptly", elapsed)
+	}
+}
+
+// TestPortfolioPriorityTieBreak pins the deterministic selection rule:
+// with several conclusive members, the earliest-registered one wins
+// regardless of finish order; a stronger verdict beats priority.
+func TestPortfolioPriorityTieBreak(t *testing.T) {
+	nl := netlist.New("pf2")
+	mon := nl.Unary(netlist.KBuf, nl.AddInput("m", 1))
+	p, err := property.NewInvariant(nl, "pf2-prop", mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := Problem{NL: nl, Prop: p}
+	mk := func(name string, v Verdict) Engine { return &quickEngine{name: name, verdict: v} }
+
+	// Both conclusive: priority order decides.
+	res := NewPortfolio(mk("first", VerdictProved), mk("second", VerdictProved)).
+		Check(context.Background(), prob)
+	if res.Engine != "first" {
+		t.Fatalf("tie broke to %q, want first", res.Engine)
+	}
+	// Conclusive beats bounded even at lower priority — the
+	// proved-bounded -> proved strengthening.
+	res = NewPortfolio(mk("bounded", VerdictProvedBounded), mk("full", VerdictProved)).
+		Check(context.Background(), prob)
+	if res.Engine != "full" || res.Verdict != VerdictProved {
+		t.Fatalf("got %v [%s], want proved [full]", res.Verdict, res.Engine)
+	}
+	// Bounded beats unknown.
+	res = NewPortfolio(mk("unk", VerdictUnknown), mk("bounded", VerdictProvedBounded)).
+		Check(context.Background(), prob)
+	if res.Engine != "bounded" {
+		t.Fatalf("got %v [%s], want proved-bounded [bounded]", res.Verdict, res.Engine)
+	}
+	// Within a strength class, a replay-validated (trace-carrying)
+	// falsification beats a traceless one regardless of priority: the
+	// BDD engine concludes without a trace, and when the ATPG/BMC
+	// counterexample survived the race the user should get the trace.
+	res = NewPortfolio(
+		&quickEngine{name: "traceless", verdict: VerdictFalsified},
+		&quickEngine{name: "traced", verdict: VerdictFalsified, validated: true},
+	).Check(context.Background(), prob)
+	if res.Engine != "traced" || !res.Validated {
+		t.Fatalf("got %v [%s] validated=%v, want falsified [traced] validated", res.Verdict, res.Engine, res.Validated)
 	}
 }

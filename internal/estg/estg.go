@@ -16,7 +16,10 @@
 // is read-mostly: lookups take a shared RWMutex read lock and accept
 // []byte keys so the engine's pooled key scratch never escapes to the
 // heap. Writes (conflict recording on backtracks) take the exclusive
-// lock.
+// lock. One store may be shared across concurrent checkers — the
+// batch scheduler (core.CheckAll) hands every worker the same store,
+// so guidance learned while checking one property steers its siblings'
+// decision ordering mid-flight.
 //
 // Conflict counts age out through bounded decay: Decay advances a
 // global epoch, and every read right-shifts a recorded count by the

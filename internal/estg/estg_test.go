@@ -85,6 +85,44 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestConcurrentBatchWorkers drives the store the way core.CheckAll's
+// worker pool does: several writers record conflicts and transitions
+// on distinct and shared abstract states while readers score both
+// polarities through the byte-key fast path and decay epochs advance.
+// Run under -race in CI; the final counts pin that no recorded
+// conflict is lost to a write race.
+func TestConcurrentBatchWorkers(t *testing.T) {
+	s := NewStore()
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := string(rune('a' + w))
+			for j := 0; j < rounds; j++ {
+				s.RecordConflict("shared")
+				s.RecordConflict(own)
+				s.RecordConflictTransition(own, "shared")
+				s.ConflictScore([]byte(own))
+				s.TransitionScore([]byte(own + "\x00shared"))
+				s.KnownNoCex("p"+own, j%4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.ConflictCount("shared"); got != workers*rounds {
+		t.Errorf("shared conflicts = %d, want %d", got, workers*rounds)
+	}
+	for w := 0; w < workers; w++ {
+		own := string(rune('a' + w))
+		if got := s.TransitionConflicts(own, "shared"); got != rounds {
+			t.Errorf("transition %s->shared = %d, want %d", own, got, rounds)
+		}
+	}
+}
+
 func TestBoundedDecay(t *testing.T) {
 	s := NewStore()
 	for i := 0; i < 8; i++ {

@@ -7,6 +7,7 @@
 package mc
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/bdd"
@@ -57,7 +58,16 @@ type Result struct {
 
 // Check runs forward reachability for an invariant property. Witness
 // properties are handled by checking reachability of monitor = 1.
-func Check(nl *netlist.Netlist, p property.Property, opts Options) (res Result) {
+func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
+	return CheckCtx(context.Background(), nl, p, opts)
+}
+
+// CheckCtx is Check under a cancellation context. Cancellation is
+// observed at two grains: between fixpoint iterations, and — through
+// the manager's Interrupt hook — every few thousand node allocations
+// inside a single BDD operation, so even a blowing-up image
+// computation returns Unknown promptly.
+func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opts Options) (res Result) {
 	start := time.Now()
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 4 << 20
@@ -67,9 +77,11 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) (res Result) 
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			if r == bdd.ErrNodeLimit {
+			if r == bdd.ErrNodeLimit || r == bdd.ErrInterrupted {
 				res.Verdict = Unknown
-				res.PeakNodes = opts.MaxNodes
+				if r == bdd.ErrNodeLimit {
+					res.PeakNodes = opts.MaxNodes
+				}
 				res.Elapsed = time.Since(start)
 				return
 			}
@@ -93,6 +105,9 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) (res Result) 
 	}
 	m := bdd.New(2*nState + nIn)
 	m.MaxNodes = opts.MaxNodes
+	if ctx.Done() != nil { // cancellable: poll inside node allocation
+		m.Interrupt = func() bool { return ctx.Err() != nil }
+	}
 
 	curVar := func(stateBit int) int { return 2 * stateBit }
 	nextVar := func(stateBit int) int { return 2*stateBit + 1 }
@@ -168,6 +183,13 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) (res Result) 
 
 	reached := initR
 	for iter := 0; iter <= opts.MaxIters; iter++ {
+		if ctx.Err() != nil {
+			res.Verdict = Unknown
+			res.Iters = iter
+			res.PeakNodes = m.NumNodes()
+			res.Elapsed = time.Since(start)
+			return
+		}
 		if m.And(m.And(reached, assume), bad) != bdd.False {
 			res.Verdict = Falsified
 			res.Iters = iter

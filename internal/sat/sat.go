@@ -84,6 +84,12 @@ type Solver struct {
 	order    *varHeap
 	// Limits
 	MaxConflicts int64
+	// Stop, when non-nil, is polled periodically inside Solve (every
+	// stopCheckInterval loop rounds); returning true aborts the search
+	// with Unknown. It is the cancellation hook the bounded model
+	// checker wires to a context so a losing portfolio engine stops
+	// promptly instead of running out its conflict budget.
+	Stop         func() bool
 	conflicts    int64
 	propagations int64
 	decisions    int64
@@ -388,6 +394,11 @@ func luby(x int64) int64 {
 	return 1 << seq
 }
 
+// stopCheckInterval is how many CDCL loop rounds pass between Stop
+// polls — frequent enough that cancellation lands within microseconds,
+// rare enough that the poll never shows up in a profile.
+const stopCheckInterval = 256
+
 // Solve runs the CDCL loop under the given assumptions.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
@@ -397,7 +408,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	restart := int64(0)
 	confLimit := 100 * luby(restart)
 	confAtRestart := int64(0)
+	rounds := 0
 	for {
+		rounds++
+		if rounds%stopCheckInterval == 0 && s.Stop != nil && s.Stop() {
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++

@@ -27,6 +27,17 @@ type smokeBaseline struct {
 	Properties map[string]struct {
 		After smokeRow `json:"after"`
 	} `json:"properties"`
+	// Tolerances lists properties with an acknowledged regression and a
+	// hard implication ceiling (entries other than "note" carry a
+	// ceiling_implications field). The ceiling is fixed at the moment
+	// the regression was accepted, so the per-update 10% band cannot
+	// silently compound on top of it across baseline refreshes —
+	// addr_decoder p2's +24% from PR 3 is the canonical entry.
+	Tolerances map[string]json.RawMessage `json:"tolerances"`
+}
+
+type toleranceEntry struct {
+	CeilingImplications int `json:"ceiling_implications"`
 }
 
 // TestBenchSmokeImplications re-checks every Table-2 property and fails
@@ -70,9 +81,18 @@ func TestBenchSmokeImplications(t *testing.T) {
 				t.Errorf("%s: verdict %s, baseline %s", name, got, want.After.Verdict)
 			}
 			limit := want.After.Implications + want.After.Implications/10
+			// Acknowledged regressions carry a fixed ceiling that wins
+			// over the relative band: the band would re-derive from
+			// every refreshed baseline and let the regression compound.
+			if raw, ok := base.Tolerances[name]; ok {
+				var tol toleranceEntry
+				if err := json.Unmarshal(raw, &tol); err == nil && tol.CeilingImplications > 0 && tol.CeilingImplications < limit {
+					limit = tol.CeilingImplications
+				}
+			}
 			if res.Stats.Implications > limit {
-				t.Errorf("%s: %d implications, >10%% over baseline %d",
-					name, res.Stats.Implications, want.After.Implications)
+				t.Errorf("%s: %d implications, over limit %d (baseline %d)",
+					name, res.Stats.Implications, limit, want.After.Implications)
 			} else if res.Stats.Implications != want.After.Implications {
 				// Informational: deterministic counts should match the
 				// baseline exactly; a silent drift inside the tolerance
