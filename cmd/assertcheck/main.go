@@ -15,23 +15,28 @@
 //	    Print netlist statistics for a design.
 //
 //	assertcheck design.v -top mod -invariant a,b [-witness w] [-depth N]
-//	            [-engine E] [-jobs N] [-json]
+//	            [-engine E] [-jobs N] [-json] [-timeout D]
 //	    Check that each listed one-bit signal is always 1 (invariant)
 //	    or find a trace driving it to 1 (witness). Engines: atpg
 //	    (default), bmc, bdd, or portfolio (race all three, first
 //	    conclusive verdict wins). Multiple properties are checked as a
-//	    batch on a -jobs worker pool; -json emits machine-readable
-//	    per-property results.
+//	    batch on a -jobs worker pool. -json emits machine-readable
+//	    per-property records in input order — results[i] always belongs
+//	    to the i-th requested property (invariants first, then
+//	    witnesses, each in flag order), whatever order the batch
+//	    workers finish in; the schema is shared byte-for-byte with the
+//	    assertd serving front end. -timeout bounds the whole run with a
+//	    cancellation context: checks still running when it expires
+//	    report verdict "unknown" (exit status 4).
 //
 // Exit status: 0 when every property is proved (or proved-bounded /
 // witness-found), 3 when any property is falsified or a requested
 // witness does not exist, 4 when any check ends unknown
-// (resource-limited), 1 on errors, 2 on usage mistakes.
+// (resource-limited or timed out), 1 on errors, 2 on usage mistakes.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,11 +45,9 @@ import (
 	"repro/internal/bmc"
 	"repro/internal/circuits"
 	"repro/internal/core"
-	"repro/internal/elab"
 	"repro/internal/mc"
 	"repro/internal/netlist"
 	"repro/internal/property"
-	"repro/internal/verilog"
 )
 
 // Exit codes (documented in the package comment).
@@ -67,7 +70,8 @@ func main() {
 		induction = flag.Bool("induction", true, "attempt a k-induction proof")
 		engine    = flag.String("engine", core.EngineATPG, "engine: atpg, bmc, bdd or portfolio")
 		jobs      = flag.Int("jobs", 1, "worker-pool size for multi-property batches")
-		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results (input order)")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); expired checks report unknown")
 	)
 	flag.Parse()
 
@@ -83,32 +87,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ast, err := verilog.Parse(string(src))
+	// One compiled-design artifact serves everything below: stats,
+	// every session, every engine.
+	d, err := core.CompileVerilog(string(src), *top)
 	if err != nil {
 		fatal(err)
 	}
-	nl, err := elab.Elaborate(ast, *top, nil)
-	if err != nil {
-		fatal(err)
-	}
+	nl := d.Netlist()
 	if *stats {
 		printStats(nl)
 		return
 	}
-	props := buildProps(nl, *invariant, *witness)
+	props, err := property.FromNames(nl, splitNames(*invariant), splitNames(*witness))
+	if err != nil {
+		fatal(err)
+	}
 	if len(props) == 0 {
 		fatal(fmt.Errorf("need -stats, -invariant or -witness"))
 	}
 
 	copts := core.Options{MaxDepth: *depth, UseInduction: *induction}
 	if *engine == core.EngineBMC || *engine == core.EngineBDD {
-		// The checker only supplies problem/worker-pool plumbing for the
+		// The session only supplies problem/worker-pool plumbing for the
 		// baseline engines; skip the ATPG-side startup (local-FSM
 		// extraction, learned store) they never read.
 		copts.DisableLocalFSM = true
 		copts.DisableLearnedStore = true
 	}
-	c, err := core.New(nl, copts)
+	c, err := d.NewSession(copts)
 	if err != nil {
 		fatal(err)
 	}
@@ -117,6 +123,15 @@ func main() {
 		fatal(err)
 	}
 	ctx := context.Background()
+	if *timeout > 0 {
+		// The cancellation plumbing reaches every engine loop (ATPG
+		// decision rounds, CDCL propagation rounds, BDD node
+		// allocations), so an expired budget surfaces as prompt
+		// per-property unknown verdicts rather than a killed process.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var results []core.Result
 	if len(props) == 1 && *jobs <= 1 {
 		// Serial single-property path: the memstats-measured Check for
@@ -131,7 +146,9 @@ func main() {
 	}
 
 	if *jsonOut {
-		emitJSON(results)
+		if err := core.EncodeRecords(os.Stdout, results); err != nil {
+			fatal(err)
+		}
 	} else {
 		for _, res := range results {
 			printResult(nl, res)
@@ -140,48 +157,29 @@ func main() {
 	os.Exit(exitCode(results))
 }
 
-// buildProps parses the comma-separated -invariant/-witness signal
-// lists into properties.
-func buildProps(nl *netlist.Netlist, invariants, witnesses string) []property.Property {
-	var props []property.Property
-	add := func(list string, kind property.Kind) {
-		for _, name := range strings.Split(list, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
-			}
-			sig, ok := nl.SignalByName(name)
-			if !ok {
-				fatal(fmt.Errorf("no signal %q", name))
-			}
-			var p property.Property
-			var err error
-			if kind == property.Invariant {
-				p, err = property.NewInvariant(nl, name, sig)
-			} else {
-				p, err = property.NewWitness(nl, name, sig)
-			}
-			if err != nil {
-				fatal(err)
-			}
-			props = append(props, p)
+// splitNames parses a comma-separated signal-name list.
+func splitNames(list string) []string {
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
 		}
 	}
-	add(invariants, property.Invariant)
-	add(witnesses, property.Witness)
-	return props
+	return out
 }
 
 // selectEngine maps the -engine flag to an Engine; nil selects the
-// checker's default memstats-measured ATPG path.
-func selectEngine(c *core.Checker, name string) (core.Engine, error) {
+// session's default memstats-measured ATPG path. The baseline engines
+// are bound to the session so they run over the design's compiled
+// caches (BMC frame template, BDD model snapshot).
+func selectEngine(c *core.Session, name string) (core.Engine, error) {
 	switch name {
 	case core.EngineATPG:
 		return nil, nil
 	case core.EngineBMC:
-		return core.NewBMCEngine(bmc.Options{}), nil
+		return c.BMCEngine(bmc.Options{}), nil
 	case core.EngineBDD:
-		return core.NewBDDEngine(mc.Options{}), nil
+		return c.BDDEngine(mc.Options{}), nil
 	case core.EnginePortfolio:
 		return c.Portfolio(), nil
 	default:
@@ -231,45 +229,6 @@ func printResult(nl *netlist.Netlist, res core.Result) {
 	}
 	if res.Trace != nil {
 		fmt.Print(res.Trace.Format(nl))
-	}
-}
-
-// jsonResult is the machine-readable per-property record -json emits.
-type jsonResult struct {
-	Property     string `json:"property"`
-	Engine       string `json:"engine"`
-	Verdict      string `json:"verdict"`
-	Depth        int    `json:"depth"`
-	ElapsedNs    int64  `json:"elapsed_ns"`
-	Decisions    int64  `json:"decisions"`
-	Conflicts    int64  `json:"conflicts"`
-	Implications int64  `json:"implications"`
-	MemUnits     int64  `json:"mem_units"`
-	AllocBytes   uint64 `json:"alloc_bytes,omitempty"`
-	Validated    bool   `json:"validated"`
-}
-
-func emitJSON(results []core.Result) {
-	out := make([]jsonResult, len(results))
-	for i, res := range results {
-		out[i] = jsonResult{
-			Property:     res.Property,
-			Engine:       res.Engine,
-			Verdict:      res.Verdict.String(),
-			Depth:        res.Depth,
-			ElapsedNs:    res.Elapsed.Nanoseconds(),
-			Decisions:    res.Metrics.Decisions,
-			Conflicts:    res.Metrics.Conflicts,
-			Implications: res.Metrics.Implications,
-			MemUnits:     res.Metrics.MemUnits,
-			AllocBytes:   res.AllocBytes,
-			Validated:    res.Validated,
-		}
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fatal(err)
 	}
 }
 

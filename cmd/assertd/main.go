@@ -1,0 +1,73 @@
+// Command assertd is the long-lived serving front end of the assertion
+// checker: an HTTP/JSON API over the core batch machinery, with
+// compiled designs cached by content hash across requests.
+//
+// Usage:
+//
+//	assertd [-addr :8545] [-max-jobs N]
+//
+// Endpoints:
+//
+//	POST /v1/check
+//	    Body: {"design": "<verilog source>", "top": "mod",
+//	           "invariants": ["a","b"], "witnesses": ["w"],
+//	           "depth": 16, "engine": "atpg|bmc|bdd|portfolio",
+//	           "jobs": 8}
+//	    Response: the input-ordered per-property record array that
+//	    `assertcheck -json` prints — byte-identical schema, so the two
+//	    front ends are interchangeable. The X-Design-Cache response
+//	    header reports whether the design compile was served from the
+//	    content-hash cache ("hit") or performed ("miss").
+//
+//	GET /healthz
+//	    Liveness plus the design-cache size.
+//
+// The first request for a design pays the full front end (parse →
+// elaborate → design compilation); every later request for the same
+// source — any property set, any engine — starts at session setup,
+// and the per-engine compiled caches (BMC frame template, BDD model
+// snapshot, ATPG prep tables) are shared across concurrent requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8545", "listen address")
+		maxJobs = flag.Int("max-jobs", 8, "per-request worker-pool cap")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Options{MaxJobs: *maxJobs})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "assertd: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "assertd:", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}
+}

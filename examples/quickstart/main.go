@@ -1,17 +1,18 @@
 // Command quickstart is the five-minute tour of the assertion checker:
-// parse a small Verilog arbiter, state a one-hot safety property and a
-// witness obligation, and run the combined word-level-ATPG + modular-
-// arithmetic engine on both.
+// compile a small Verilog arbiter into an immutable core.Design, state
+// a one-hot safety property and a witness obligation, and run the
+// combined word-level-ATPG + modular-arithmetic engine on both through
+// per-run sessions — including a concurrent batch, which is where the
+// Design/Session split pays off (compile once, check from N workers).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/elab"
 	"repro/internal/property"
-	"repro/internal/verilog"
 )
 
 const src = `
@@ -34,19 +35,18 @@ endmodule
 `
 
 func main() {
-	// 1. Front end: parse and elaborate ("quick synthesis") into a
-	// word-level netlist of Boolean gates, comparators, muxes and
-	// flip-flops.
-	ast, err := verilog.Parse(src)
+	// 1. Front end: parse + elaborate ("quick synthesis") + compile
+	// into an immutable core.Design — the artifact every session,
+	// engine and worker below shares. The design also caches the
+	// per-engine compiled forms (BMC frame template, BDD model, ATPG
+	// prep), each built at most once on first use.
+	design, err := core.CompileVerilog(src, "grant2")
 	if err != nil {
 		log.Fatal(err)
 	}
-	nl, err := elab.Elaborate(ast, "grant2", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	st := nl.Stats()
-	fmt.Printf("elaborated grant2: %d gates, %d FFs, %d inputs\n", st.Gates, st.FFs, st.Ins)
+	nl := design.Netlist()
+	st := design.Stats()
+	fmt.Printf("compiled grant2: %d gates, %d FFs, %d inputs\n", st.Gates, st.FFs, st.Ins)
 
 	// 2. Properties: the grants must never both be active (invariant),
 	// and client 1 must be grantable (witness).
@@ -62,20 +62,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Check. The invariant is proved by induction; the witness comes
-	// back as a concrete input trace, replay-validated on the
+	// 3. Check through a per-run session. Sessions are cheap — they
+	// borrow everything compiled from the design and own only mutable
+	// search state. The invariant is proved by induction; the witness
+	// comes back as a concrete input trace, replay-validated on the
 	// three-valued simulator.
-	checker, err := core.New(nl, core.Options{MaxDepth: 8, UseInduction: true})
+	sess, err := design.NewSession(core.Options{MaxDepth: 8, UseInduction: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := checker.Check(exclusive)
+	res := sess.Check(exclusive)
 	fmt.Printf("%-18s -> %v (depth %d, %d decisions, %v)\n",
 		res.Property, res.Verdict, res.Depth, res.Stats.Decisions, res.Elapsed.Round(1000))
 
-	res = checker.Check(grantable)
+	res = sess.Check(grantable)
 	fmt.Printf("%-18s -> %v (depth %d)\n", res.Property, res.Verdict, res.Depth)
 	if res.Trace != nil {
 		fmt.Print("witness trace:\n", res.Trace.Format(nl))
+	}
+
+	// 4. Batch: both properties on a concurrent worker pool, results in
+	// input order. Workers share the one compiled design — this same
+	// API backs the assertd HTTP front end (cmd/assertd), where designs
+	// are additionally cached by content hash across requests:
+	//
+	//   curl -X POST localhost:8545/v1/check -d '{"design": "...",
+	//     "top": "grant2", "invariants": ["..."], "jobs": 8}'
+	batch := sess.CheckAll(context.Background(),
+		[]property.Property{exclusive, grantable}, core.BatchOptions{Jobs: 2})
+	for _, r := range batch {
+		fmt.Printf("batch: %-18s -> %v [%s]\n", r.Property, r.Verdict, r.Engine)
 	}
 }

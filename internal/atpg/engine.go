@@ -346,6 +346,86 @@ type requirement struct {
 	val   bv.BV
 }
 
+// Prep is the immutable, netlist-derived part of an engine: the gate
+// classifications and table shapes every engine over the same netlist
+// recomputes identically. It is computed once (NewPrep) and shared
+// read-only by any number of concurrently-constructed engines, so a
+// session layer that holds a compiled design pays only per-run state
+// allocation, not re-analysis. All fields are read-only after NewPrep.
+type Prep struct {
+	nl *netlist.Netlist
+	// nSigs/nGates snapshot the netlist size at analysis time; Stale
+	// reports whether the netlist has grown since (new monitor logic),
+	// in which case the tables must be rebuilt before use.
+	nSigs, nGates int
+	maxArity      int
+	// cmpGates lists the comparator gate instances (frontier re-check
+	// set on identity events).
+	cmpGates []netlist.GateID
+	// controlFFs lists 1-bit flip-flops (abstract state variables);
+	// ctlPos maps their output signals to positions (-1 elsewhere).
+	controlFFs []netlist.GateID
+	ctlPos     []int32
+}
+
+// NewPrep analyses a netlist into the shared engine tables. The
+// netlist must be combinationally acyclic.
+func NewPrep(nl *netlist.Netlist) (*Prep, error) {
+	if _, err := nl.TopoOrder(); err != nil {
+		return nil, err
+	}
+	p := &Prep{nl: nl, nSigs: nl.NumSignals(), nGates: nl.NumGates()}
+	nCmp := 0
+	for gi := range nl.Gates {
+		if n := len(nl.Gates[gi].In); n > p.maxArity {
+			p.maxArity = n
+		}
+		if nl.Gates[gi].Kind.IsComparator() {
+			nCmp++
+		}
+	}
+	if nCmp > 0 {
+		p.cmpGates = make([]netlist.GateID, 0, nCmp)
+		for gi := range nl.Gates {
+			if nl.Gates[gi].Kind.IsComparator() {
+				p.cmpGates = append(p.cmpGates, netlist.GateID(gi))
+			}
+		}
+	}
+	nCtl := 0
+	for _, ff := range nl.FFs {
+		if nl.Width(nl.Gates[ff].Out) == 1 {
+			nCtl++
+		}
+	}
+	if nCtl > 0 {
+		p.controlFFs = make([]netlist.GateID, 0, nCtl)
+		p.ctlPos = make([]int32, nl.NumSignals())
+		for i := range p.ctlPos {
+			p.ctlPos[i] = -1
+		}
+		for _, ff := range nl.FFs {
+			g := &nl.Gates[ff]
+			if nl.Width(g.Out) == 1 {
+				p.ctlPos[g.Out] = int32(len(p.controlFFs))
+				p.controlFFs = append(p.controlFFs, ff)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Netlist returns the analysed netlist.
+func (p *Prep) Netlist() *netlist.Netlist { return p.nl }
+
+// Stale reports whether the netlist has grown signals or gates since
+// this prep was computed — its tables (ctlPos sizing, comparator and
+// control-FF lists, max arity) would then under-cover the netlist and
+// must not be used.
+func (p *Prep) Stale() bool {
+	return p.nSigs != p.nl.NumSignals() || p.nGates != p.nl.NumGates()
+}
+
 // New returns an engine over frames copies of the netlist. Frame-0
 // flip-flop outputs are constrained to their initial values; pass
 // freeInit to leave them unconstrained (used for inductive steps).
@@ -355,11 +435,22 @@ func New(nl *netlist.Netlist, frames int, mode Mode, limits Limits, store *estg.
 
 // NewWithFeatures is New with ablation switches.
 func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, store *estg.Store, freeInit bool, feats Features) (*Engine, error) {
+	prep, err := NewPrep(nl)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithPrep(prep, frames, mode, limits, store, freeInit, feats)
+}
+
+// NewWithPrep is NewWithFeatures over a pre-analysed netlist: the
+// shared tables come from prep, only the per-run mutable state (value
+// tables, trail, queues, scratch pools) is allocated. Engines built
+// from the same Prep are fully independent and behave bit-identically
+// to engines built by NewWithFeatures.
+func NewWithPrep(prep *Prep, frames int, mode Mode, limits Limits, store *estg.Store, freeInit bool, feats Features) (*Engine, error) {
+	nl := prep.nl
 	if frames < 1 {
 		return nil, fmt.Errorf("atpg: need at least one frame")
-	}
-	if _, err := nl.TopoOrder(); err != nil {
-		return nil, err
 	}
 	e := &Engine{
 		nl: nl, frames: frames, mode: mode, limits: limits, store: store,
@@ -377,13 +468,7 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 	nSigs, nGates := nl.NumSignals(), nl.NumGates()
 	backing := make([]bv.BV, frames*nSigs)
 	e.vals = make([][]bv.BV, frames)
-	maxArity := 0
-	for gi := range nl.Gates {
-		if n := len(nl.Gates[gi].In); n > maxArity {
-			maxArity = n
-		}
-	}
-	e.inBuf = make([]bv.BV, maxArity)
+	e.inBuf = make([]bv.BV, prep.maxArity)
 	// The generation-stamp arrays and the gate-instance work lists share
 	// one backing allocation each (full-slice expressions keep appends
 	// from bleeding across); the decision-BFS accumulators are allocated
@@ -401,20 +486,7 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 	e.dirtyGen = 1
 	e.cdGen = 1
 	e.trail = make([]trailEntry, 0, frames*nSigs)
-	nCmp := 0
-	for gi := range nl.Gates {
-		if nl.Gates[gi].Kind.IsComparator() {
-			nCmp++
-		}
-	}
-	if nCmp > 0 {
-		e.cmpGates = make([]netlist.GateID, 0, nCmp)
-		for gi := range nl.Gates {
-			if nl.Gates[gi].Kind.IsComparator() {
-				e.cmpGates = append(e.cmpGates, netlist.GateID(gi))
-			}
-		}
-	}
+	e.cmpGates = prep.cmpGates
 	if store != nil {
 		e.internTab = make(map[string]string)
 	}
@@ -430,25 +502,10 @@ func NewWithFeatures(nl *netlist.Netlist, frames int, mode Mode, limits Limits, 
 			e.vals[f][s] = bv.NewX(nl.Signals[s].Width)
 		}
 	}
-	nCtl := 0
-	for _, ff := range nl.FFs {
-		if nl.Width(nl.Gates[ff].Out) == 1 {
-			nCtl++
-		}
-	}
-	if nCtl > 0 {
-		e.controlFFs = make([]netlist.GateID, 0, nCtl)
-		e.ctlPos = make([]int32, nSigs)
-		for i := range e.ctlPos {
-			e.ctlPos[i] = -1
-		}
-	}
+	e.controlFFs = prep.controlFFs
+	e.ctlPos = prep.ctlPos
 	for _, ff := range nl.FFs {
 		g := &nl.Gates[ff]
-		if nl.Width(g.Out) == 1 {
-			e.ctlPos[g.Out] = int32(len(e.controlFFs))
-			e.controlFFs = append(e.controlFFs, ff)
-		}
 		if !freeInit && !g.Init.IsAllX() {
 			if !e.assign(0, g.Out, g.Init) {
 				return nil, fmt.Errorf("atpg: contradictory initial values")

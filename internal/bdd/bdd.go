@@ -82,6 +82,48 @@ func New(n int) *Manager {
 // NumNodes returns the number of allocated nodes (memory proxy).
 func (m *Manager) NumNodes() int { return len(m.nodes) }
 
+// Node is one exported unique-table entry, used by Snapshot /
+// NewFromSnapshot to move a built BDD between managers.
+type Node struct {
+	Level  int32
+	Lo, Hi Ref
+}
+
+// Snapshot copies the non-terminal node table. Because mk only ever
+// appends nodes whose children already exist, every node's Lo/Hi refer
+// to earlier entries (or the terminals), so the slice is a valid
+// creation-order replay log. Refs held against this manager index the
+// same nodes in any manager built by NewFromSnapshot of this snapshot.
+func (m *Manager) Snapshot() []Node {
+	out := make([]Node, len(m.nodes)-2)
+	for i, n := range m.nodes[2:] {
+		out[i] = Node{Level: n.level, Lo: n.lo, Hi: n.hi}
+	}
+	return out
+}
+
+// NewFromSnapshot returns a fresh manager with n variables whose node
+// table is pre-populated from a Snapshot. The nodes were canonical in
+// the source manager, so they are inserted verbatim (no re-reduction)
+// and receive the same Refs they had at Snapshot time; the memoized
+// apply cache starts empty. This is how a compiled transition relation
+// is shared across concurrent sessions: one immutable snapshot, one
+// cheap private manager per session.
+func NewFromSnapshot(n int, nodes []Node) *Manager {
+	m := New(n)
+	m.nodes = make([]node, 2, 2+len(nodes))
+	m.nodes[0] = node{level: termLevel}
+	m.nodes[1] = node{level: termLevel}
+	m.unique = make(map[node]Ref, len(nodes))
+	for _, sn := range nodes {
+		key := node{level: sn.Level, lo: sn.Lo, hi: sn.Hi}
+		r := Ref(len(m.nodes))
+		m.nodes = append(m.nodes, key)
+		m.unique[key] = r
+	}
+	return m
+}
+
 // NumVars returns the variable count.
 func (m *Manager) NumVars() int { return m.nVars }
 

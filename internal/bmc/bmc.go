@@ -74,19 +74,54 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
 // CheckCtx is Check under a cancellation context: the CDCL search polls
 // ctx between unit-propagation rounds (see sat.Solver.Stop) and between
 // depths, so a cancelled run returns Unknown promptly instead of
-// exhausting its conflict budget.
+// exhausting its conflict budget. The netlist is compiled into a
+// one-frame CNF template first; callers that check many properties of
+// one design should compile once (cnf.Compile or the core Design
+// cache) and use CheckCompiled.
 func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opts Options) Result {
+	start := time.Now()
+	tmpl, err := cnf.Compile(nl)
+	if err != nil {
+		return Result{Verdict: Unknown, Elapsed: time.Since(start)}
+	}
+	res := CheckCompiled(ctx, tmpl, p, opts)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// CheckCompiled is CheckCtx over a pre-compiled frame template: one
+// solver serves the whole iterative-deepening loop — frame clauses are
+// monotone, each depth extends the unrolling by relocated template
+// clauses, and the per-depth property ask is passed as an assumption so
+// nothing is retracted between depths. The template is read-only here,
+// so any number of CheckCompiled calls may share it concurrently.
+func CheckCompiled(ctx context.Context, tmpl *cnf.Template, p property.Property, opts Options) Result {
 	start := time.Now()
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 16
 	}
+	// Stale-template guard: a property built after the template was
+	// compiled references signals the template has no variables for.
+	// Recompile against the current netlist rather than mis-addressing
+	// the frame blocks.
+	stale := !tmpl.Covers(p.Monitor)
+	for _, a := range p.Assumes {
+		stale = stale || !tmpl.Covers(a)
+	}
+	if stale {
+		fresh, err := cnf.Compile(tmpl.NL)
+		if err != nil {
+			return Result{Verdict: Unknown, Elapsed: time.Since(start)}
+		}
+		tmpl = fresh
+	}
+	nl := tmpl.NL
 	s := sat.NewSolver()
 	s.MaxConflicts = opts.MaxConflicts
 	if ctx.Done() != nil { // cancellable: install the CDCL stop hook
 		s.Stop = func() bool { return ctx.Err() != nil }
 	}
-	b := cnf.New(nl, s)
-	b.PinInit()
+	in := tmpl.NewInstance(s)
 	target := false // invariant: look for monitor = 0
 	if p.Kind == property.Witness {
 		target = true
@@ -98,23 +133,17 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 			res.Depth = depth - 1
 			break
 		}
-		if err := b.BlastFrame(depth - 1); err != nil {
-			res.Verdict = Unknown
-			break
-		}
-		if depth > 1 {
-			b.LinkFrames(depth - 2)
-		}
+		in.EnsureFrames(depth)
 		// Assumptions: monitor takes the target value at the last
 		// frame; environment constraints hold at every frame.
-		monLit := b.Lit(depth-1, p.Monitor, 0)
+		monLit := in.Lit(depth-1, p.Monitor, 0)
 		if !target {
 			monLit = monLit.Not()
 		}
 		assumptions := []sat.Lit{monLit}
 		for f := 0; f < depth; f++ {
 			for _, a := range p.Assumes {
-				assumptions = append(assumptions, b.Lit(f, a, 0))
+				assumptions = append(assumptions, in.Lit(f, a, 0))
 			}
 		}
 		switch s.Solve(assumptions...) {
@@ -123,14 +152,14 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 			for f := 0; f < depth; f++ {
 				tr.Inputs[f] = map[netlist.SignalID]bv.BV{}
 				for _, pi := range nl.PIs {
-					tr.Inputs[f][pi] = b.ModelValue(f, pi)
+					tr.Inputs[f][pi] = in.ModelValue(f, pi)
 				}
 			}
 			res.InitState = map[netlist.SignalID]bv.BV{}
 			for _, ff := range nl.FFs {
 				g := &nl.Gates[ff]
 				if g.Init.IsAllX() || !g.Init.IsFullyKnown() {
-					res.InitState[g.Out] = b.ModelValue(0, g.Out)
+					res.InitState[g.Out] = in.ModelValue(0, g.Out)
 				}
 			}
 			res.Verdict = Falsified

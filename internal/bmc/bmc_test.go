@@ -1,6 +1,7 @@
 package bmc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -198,4 +199,54 @@ func newSolverWithBlast(t *testing.T, nl *netlist.Netlist) solverPair {
 		t.Fatal(err)
 	}
 	return solverPair{s, b}
+}
+
+// TestCompiledCoversAssumesAndStaleProps pins two template edge cases:
+// (a) an assumption over a declared-but-unread input must constrain
+// only that input — the template gives every signal bit a variable
+// inside its frame block, so no literal can alias a later frame's
+// block; (b) a property whose monitor was built after the template was
+// compiled (stale template) is detected via Covers and recompiled
+// rather than mis-addressed.
+func TestCompiledCoversAssumesAndStaleProps(t *testing.T) {
+	nl, q := buildCounterMax(6)
+	u := nl.AddInput("u", 1) // unread by any gate
+	b := property.Builder{NL: nl}
+	mon := b.InRange(q, 0, 5)
+	p, _ := property.NewInvariant(nl, "range", mon)
+	p = p.WithAssume(u)
+
+	tmpl, err := cnf.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tmpl.Covers(u) {
+		t.Fatal("template does not cover the unread input")
+	}
+	got := CheckCompiled(context.Background(), tmpl, p, Options{MaxDepth: 10})
+	want := Check(nl, p, Options{MaxDepth: 10})
+	if got.Verdict != want.Verdict || got.Depth != want.Depth {
+		t.Fatalf("unread-input assume: compiled %v@%d, direct %v@%d",
+			got.Verdict, got.Depth, want.Verdict, want.Depth)
+	}
+	if got.Verdict != Falsified || got.Depth != 7 {
+		t.Fatalf("got %v@%d, want falsified@7", got.Verdict, got.Depth)
+	}
+
+	// Stale template: a monitor built after Compile references signals
+	// the template has no variables for.
+	mon2 := b.InRange(q, 0, 6)
+	p2, _ := property.NewInvariant(nl, "range2", mon2)
+	if tmpl.Covers(p2.Monitor) {
+		t.Fatal("template unexpectedly covers the post-compile monitor")
+	}
+	got2 := CheckCompiled(context.Background(), tmpl, p2, Options{MaxDepth: 10})
+	want2 := Check(nl, p2, Options{MaxDepth: 10})
+	if got2.Verdict != want2.Verdict || got2.Depth != want2.Depth {
+		t.Fatalf("stale template: compiled %v@%d, direct %v@%d",
+			got2.Verdict, got2.Depth, want2.Verdict, want2.Depth)
+	}
+	if got2.Verdict != BoundedOK {
+		t.Fatalf("got %v, want bounded-ok (q wraps at 6)", got2.Verdict)
+	}
 }

@@ -20,16 +20,27 @@ type varKey struct {
 	bit   int32
 }
 
-// Blaster encodes gate instances into a SAT solver.
+// Sink is the clause consumer a Blaster encodes into: a live SAT
+// solver, or the template recorder that captures one frame's clauses
+// for later relocation (see Template).
+type Sink interface {
+	NewVar() int
+	AddClause(lits ...sat.Lit) bool
+}
+
+// Blaster encodes gate instances into a SAT solver (or any Sink).
 type Blaster struct {
 	NL   *netlist.Netlist
-	S    *sat.Solver
+	S    Sink
 	vars map[varKey]int
+	// solver is S when the sink is a real solver; ModelValue reads
+	// models through it.
+	solver *sat.Solver
 }
 
 // New returns a blaster over the netlist and solver.
 func New(nl *netlist.Netlist, s *sat.Solver) *Blaster {
-	return &Blaster{NL: nl, S: s, vars: map[varKey]int{}}
+	return &Blaster{NL: nl, S: s, solver: s, vars: map[varKey]int{}}
 }
 
 // Var returns the SAT variable of one bit of a signal at a frame.
@@ -454,7 +465,8 @@ func (b *Blaster) falseLit() sat.Lit {
 	return l
 }
 
-// ModelValue reads a signal value of the model after a Sat answer.
+// ModelValue reads a signal value of the model after a Sat answer. The
+// blaster must have been built over a real solver (New).
 func (b *Blaster) ModelValue(frame int, sig netlist.SignalID) bv.BV {
 	w := b.NL.Width(sig)
 	out := bv.NewX(w)
@@ -465,7 +477,7 @@ func (b *Blaster) ModelValue(frame int, sig netlist.SignalID) bv.BV {
 			out = out.WithBit(i, bv.Zero)
 			continue
 		}
-		if b.S.ModelValue(v) {
+		if b.solver.ModelValue(v) {
 			out = out.WithBit(i, bv.One)
 		} else {
 			out = out.WithBit(i, bv.Zero)

@@ -1,0 +1,234 @@
+// Frame templates: the per-design compiled form of the bit-blaster.
+//
+// Every time frame of a netlist bit-blasts to the same clauses up to a
+// uniform variable renumbering, so the encoding work — walking the
+// topological order and emitting Tseitin clauses gate by gate — only
+// has to happen once per design, not once per frame per run. Compile
+// records one frame's clauses over frame-local variables; Instance
+// relocates them into a live solver by adding a fixed per-frame offset,
+// which turns per-depth frame extension (and per-run solver
+// construction) into flat integer copies. A Template is immutable and
+// safe for concurrent Instances, which is how the Design layer shares
+// one compiled form across batch workers and portfolio members.
+package cnf
+
+import (
+	"fmt"
+
+	"repro/internal/bv"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// Template is the compiled one-frame CNF of a netlist: clauses over
+// frame-local variables (1-based, dense in [1, FrameVars]), the
+// register transition pairs linking adjacent frames, and the frame-0
+// initial-value units. Immutable after Compile.
+type Template struct {
+	NL *netlist.Netlist
+	// FrameVars is the variable count of one frame; the global solver
+	// variable of frame f's local v is f*FrameVars + v.
+	FrameVars int
+	// lits/ends flatten the frame clauses: clause i is
+	// lits[ends[i-1]:ends[i]], literals over local variables.
+	lits []sat.Lit
+	ends []int32
+	// linkQ/linkD pair register output bits with their next-state input
+	// bits: Q@f+1 (local linkQ[i]) equals D@f (local linkD[i]).
+	linkQ, linkD []int32
+	// initLits are the frame-0 unit clauses pinning declared register
+	// initial bits, over frame-local variables.
+	initLits []sat.Lit
+	// local maps a signal bit to its frame-local variable.
+	local map[varKey]int
+}
+
+// recorder is the Sink that captures one frame's clauses with
+// frame-local numbering.
+type recorder struct {
+	t     *Template
+	nVars int
+}
+
+func (r *recorder) NewVar() int {
+	r.nVars++
+	return r.nVars
+}
+
+func (r *recorder) AddClause(lits ...sat.Lit) bool {
+	r.t.lits = append(r.t.lits, lits...)
+	r.t.ends = append(r.t.ends, int32(len(r.t.lits)))
+	return true
+}
+
+// Compile bit-blasts one frame of the netlist into a reusable
+// template. The returned Template is immutable; build it once per
+// design and instantiate it into as many solvers as needed.
+func Compile(nl *netlist.Netlist) (*Template, error) {
+	if _, err := nl.TopoOrder(); err != nil {
+		return nil, err
+	}
+	t := &Template{NL: nl, local: map[varKey]int{}}
+	rec := &recorder{t: t}
+	b := &Blaster{NL: nl, S: rec, vars: t.local}
+	// Register bits first (matching the PinInit-first var order of the
+	// direct path), then every combinational gate of the frame.
+	for _, ff := range nl.FFs {
+		g := &nl.Gates[ff]
+		w := nl.Width(g.Out)
+		for i := 0; i < w; i++ {
+			switch g.Init.Bit(i) {
+			case bv.One:
+				t.initLits = append(t.initLits, b.Lit(0, g.Out, i))
+			case bv.Zero:
+				t.initLits = append(t.initLits, b.Lit(0, g.Out, i).Not())
+			}
+		}
+	}
+	if err := b.BlastFrame(0); err != nil {
+		return nil, err
+	}
+	// Transition pairs; force the D bits' variables to exist even when
+	// the next-state net feeds nothing else.
+	for _, ff := range nl.FFs {
+		g := &nl.Gates[ff]
+		w := nl.Width(g.Out)
+		for i := 0; i < w; i++ {
+			t.linkQ = append(t.linkQ, int32(b.Var(0, g.Out, i)))
+			t.linkD = append(t.linkD, int32(b.Var(0, g.In[0], i)))
+		}
+	}
+	// Give every remaining signal bit a local variable too (signals no
+	// gate references, e.g. declared-but-unread inputs an assumption
+	// might name). The per-frame variable blocks must stay dense —
+	// frame f's global variables are exactly (f*FrameVars, (f+1)*
+	// FrameVars] — so Instance.Lit can never be allowed to mint
+	// variables outside the blocks: a later frame's relocated clauses
+	// would alias them.
+	for sig := range nl.Signals {
+		w := nl.Signals[sig].Width
+		for i := 0; i < w; i++ {
+			b.Var(0, netlist.SignalID(sig), i)
+		}
+	}
+	t.FrameVars = rec.nVars
+	return t, nil
+}
+
+// Covers reports whether every bit of the signal has a slot in the
+// template — false only for signals added to the netlist after Compile
+// (a stale template; recompile to address them).
+func (t *Template) Covers(sig netlist.SignalID) bool {
+	if int(sig) >= len(t.NL.Signals) {
+		return false
+	}
+	w := t.NL.Width(sig)
+	for i := 0; i < w; i++ {
+		if _, ok := t.local[varKey{0, sig, int32(i)}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NumFrameClauses returns the clause count of one instantiated frame
+// (excluding links and init units).
+func (t *Template) NumFrameClauses() int { return len(t.ends) }
+
+// Instance is one solver-backed unrolling of a template. It is the
+// mutable per-run object: frames are instantiated on demand
+// (EnsureFrames) and literals/models are addressed exactly like the
+// direct Blaster.
+type Instance struct {
+	T       *Template
+	S       *sat.Solver
+	frames  int
+	scratch []sat.Lit
+}
+
+// NewInstance prepares an unrolling of the template into s. No frames
+// are instantiated yet.
+func (t *Template) NewInstance(s *sat.Solver) *Instance {
+	return &Instance{T: t, S: s}
+}
+
+// Frames returns the number of instantiated frames.
+func (in *Instance) Frames() int { return in.frames }
+
+// EnsureFrames instantiates frames so that frames 0..n-1 exist:
+// reserves each frame's variable block, relocates the template clauses
+// into it, pins frame-0 initial values and links each new frame to its
+// predecessor. Frame clauses are monotone — extending the unrolling
+// never retracts anything — so one solver serves the whole
+// iterative-deepening loop with per-depth property asks passed as
+// assumptions.
+func (in *Instance) EnsureFrames(n int) {
+	t := in.T
+	for f := in.frames; f < n; f++ {
+		base := f * t.FrameVars
+		for i := 0; i < t.FrameVars; i++ {
+			in.S.NewVar()
+		}
+		off := sat.Lit(base) << 1
+		if f == 0 {
+			for _, l := range t.initLits {
+				in.S.AddClause(l + off)
+			}
+		}
+		start := int32(0)
+		for _, end := range t.ends {
+			in.scratch = in.scratch[:0]
+			for _, l := range t.lits[start:end] {
+				in.scratch = append(in.scratch, l+off)
+			}
+			in.S.AddClause(in.scratch...)
+			start = end
+		}
+		if f > 0 {
+			prev := sat.Lit((f-1)*t.FrameVars) << 1
+			for i := range t.linkQ {
+				q := sat.NewLit(int(t.linkQ[i]), false) + off
+				d := sat.NewLit(int(t.linkD[i]), false) + prev
+				in.S.AddClause(q.Not(), d)
+				in.S.AddClause(q, d.Not())
+			}
+		}
+		in.frames = f + 1
+	}
+}
+
+// Lit returns the positive literal of a signal bit at a frame; the
+// frame must have been instantiated and the signal covered by the
+// template (check Covers for signals that may postdate Compile —
+// minting fresh variables here would alias a later frame's block).
+func (in *Instance) Lit(frame int, sig netlist.SignalID, bit int) sat.Lit {
+	if frame >= in.frames {
+		panic(fmt.Sprintf("cnf: literal requested at frame %d of %d", frame, in.frames))
+	}
+	v, ok := in.T.local[varKey{0, sig, int32(bit)}]
+	if !ok {
+		panic(fmt.Sprintf("cnf: signal %d bit %d not covered by the template (stale template? check Covers)", sig, bit))
+	}
+	return sat.NewLit(frame*in.T.FrameVars+v, false)
+}
+
+// ModelValue reads a signal value of the model after a Sat answer;
+// bits the template does not cover read as 0, exactly like the direct
+// Blaster's never-created vars.
+func (in *Instance) ModelValue(frame int, sig netlist.SignalID) bv.BV {
+	w := in.T.NL.Width(sig)
+	out := bv.NewX(w)
+	for i := 0; i < w; i++ {
+		v, ok := in.T.local[varKey{0, sig, int32(i)}]
+		if !ok {
+			out = out.WithBit(i, bv.Zero)
+			continue
+		}
+		if in.S.ModelValue(frame*in.T.FrameVars + v) {
+			out = out.WithBit(i, bv.One)
+		} else {
+			out = out.WithBit(i, bv.Zero)
+		}
+	}
+	return out
+}

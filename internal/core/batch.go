@@ -33,7 +33,7 @@ type BatchOptions struct {
 // Per-result AllocBytes/AllocObjects stay zero in batch mode: the
 // memstats deltas Check reports are process-wide, so with concurrent
 // workers they would misattribute each other's allocations.
-func (c *Checker) CheckAll(ctx context.Context, props []property.Property, opts BatchOptions) []Result {
+func (c *Session) CheckAll(ctx context.Context, props []property.Property, opts BatchOptions) []Result {
 	results := make([]Result, len(props))
 	if len(props) == 0 {
 		return results

@@ -7,21 +7,25 @@
 // by replaying them on the three-valued simulator; proofs are bounded
 // (iterative time-frame deepening) with an optional k-induction step
 // that upgrades a bounded result to a full proof.
+//
+// The package is organized as a two-level Design/Session architecture:
+// an immutable, concurrency-safe compiled Design (design.go — the
+// netlist plus every static analysis and lazily-built per-engine
+// compiled cache) and cheap per-run Sessions over it (session.go).
+// Scheduling layers — the engine adapters (engine.go), portfolio
+// racing (portfolio.go) and batch checking (batch.go) — are thin
+// constructors over Design.NewSession. This file holds the shared
+// verdict/result vocabulary.
 package core
 
 import (
-	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/bv"
 	"repro/internal/estg"
-	"repro/internal/fsm"
 	"repro/internal/netlist"
-	"repro/internal/property"
 	"repro/internal/sim"
 )
 
@@ -61,7 +65,7 @@ func (v Verdict) Conclusive() bool {
 	return v == VerdictProved || v == VerdictFalsified || v == VerdictWitnessFound
 }
 
-// Options tunes the checker.
+// Options tunes a session.
 type Options struct {
 	// MaxDepth bounds the number of time frames explored (default 16).
 	MaxDepth int
@@ -78,12 +82,12 @@ type Options struct {
 	// (default 5000 decisions).
 	InductionDecisions int
 	// Store carries learned ESTG state across properties and depths.
-	// When nil, the checker creates a private store (so the deepening
+	// When nil, the session creates a private store (so the deepening
 	// runs and the induction step of one Check still learn from each
 	// other) unless DisableLearnedStore is set; pass an explicit store
-	// to share learning across properties or checkers.
+	// to share learning across properties or sessions.
 	Store *estg.Store
-	// DisableLearnedStore turns off the default per-checker ESTG store
+	// DisableLearnedStore turns off the default per-session ESTG store
 	// (conflict recording, no-cex caching and ESTG-guided decision
 	// ordering). For ablation; ignored when Store is non-nil.
 	DisableLearnedStore bool
@@ -146,415 +150,4 @@ type Result struct {
 	// is for the implication core.
 	AllocsPerDecision float64
 	Validated         bool
-}
-
-// Checker checks properties of one netlist.
-type Checker struct {
-	nl       *netlist.Netlist
-	opts     Options
-	machines []*fsm.Machine
-}
-
-// fsmCache memoizes local-FSM extraction per netlist. The key includes
-// the gate count so a netlist extended with new monitor logic between
-// checker constructions is re-analysed.
-var fsmCache sync.Map // fsmKey -> []*fsm.Machine
-
-type fsmKey struct {
-	nl    *netlist.Netlist
-	gates int
-}
-
-// New returns a checker; the netlist must be valid. Local FSMs are
-// extracted once per netlist (unless disabled) and shared between
-// checkers.
-func New(nl *netlist.Netlist, opts Options) (*Checker, error) {
-	if err := nl.Validate(); err != nil {
-		return nil, err
-	}
-	c := &Checker{nl: nl, opts: opts.withDefaults()}
-	if c.opts.Store == nil && !c.opts.DisableLearnedStore {
-		c.opts.Store = estg.NewStore()
-	}
-	if !c.opts.DisableLocalFSM {
-		key := fsmKey{nl, nl.NumGates()}
-		if cached, ok := fsmCache.Load(key); ok {
-			c.machines = cached.([]*fsm.Machine)
-		} else {
-			ms, err := fsm.Extract(nl, fsm.Options{})
-			if err != nil {
-				return nil, err
-			}
-			fsmCache.Store(key, ms)
-			c.machines = ms
-		}
-	}
-	return c, nil
-}
-
-// Machines exposes the extracted local FSMs (for reporting).
-func (c *Checker) Machines() []*fsm.Machine { return c.machines }
-
-// addDomains installs the local-FSM reachable sets: bounded runs use
-// the per-frame unrolled sets, induction runs (any-state start) the
-// fixpoint sets.
-func (c *Checker) addDomains(eng *atpg.Engine, fixpointOnly bool) {
-	for _, m := range c.machines {
-		m := m
-		if fixpointOnly {
-			eng.AddDomain(atpg.Domain{
-				Sig: m.Q,
-				FeasibleIn: func(_ int, cube bv.BV) bool {
-					return m.FeasibleEver(cube)
-				},
-				Enumerate: func(_ int, cube bv.BV, fn func(uint64) bool) {
-					m.EnumerateIn(len(m.ReachAt)-1, cube, fn)
-				},
-			})
-		} else {
-			eng.AddDomain(atpg.Domain{
-				Sig: m.Q, FeasibleIn: m.FeasibleIn,
-				Enumerate: func(f int, cube bv.BV, fn func(uint64) bool) {
-					m.EnumerateIn(f, cube, fn)
-				},
-			})
-		}
-	}
-}
-
-// Netlist returns the design under check.
-func (c *Checker) Netlist() *netlist.Netlist { return c.nl }
-
-// Check runs the Fig. 1 loop for one property.
-func (c *Checker) Check(p property.Property) Result {
-	return c.CheckCtx(context.Background(), p)
-}
-
-// CheckCtx is Check under a cancellation context: the ATPG search, the
-// deepening loop and the induction step all observe ctx and return
-// VerdictUnknown promptly after cancellation. The allocation columns
-// are measured from process-wide memstats (two stop-the-world reads),
-// so they are only attributable when checks run one at a time;
-// concurrent callers (CheckAll workers, portfolio members) go through
-// checkQuiet instead and leave them zero.
-func (c *Checker) CheckCtx(ctx context.Context, p property.Property) Result {
-	start := time.Now()
-	var ms0 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
-	res := c.check(ctx, p)
-	var ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms1)
-	res.AllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
-	res.AllocObjects = ms1.Mallocs - ms0.Mallocs
-	if res.Stats.Implications > 0 {
-		res.AllocsPerImpl = float64(res.AllocObjects) / float64(res.Stats.Implications)
-	}
-	if res.Stats.Decisions > 0 {
-		res.AllocsPerDecision = float64(res.AllocObjects) / float64(res.Stats.Decisions)
-	}
-	res.Elapsed = time.Since(start)
-	res.Property = p.Name
-	return res
-}
-
-// checkQuiet is CheckCtx without the memstats reads: the variant used
-// when several checks run concurrently, where a process-global
-// allocation delta would misattribute the other workers' allocations
-// (and the stop-the-world reads would serialize them).
-func (c *Checker) checkQuiet(ctx context.Context, p property.Property) Result {
-	start := time.Now()
-	res := c.check(ctx, p)
-	res.Elapsed = time.Since(start)
-	res.Property = p.Name
-	return res
-}
-
-func (c *Checker) check(ctx context.Context, p property.Property) Result {
-	res := c.checkSearch(ctx, p)
-	res.Engine = EngineATPG
-	res.Metrics = metricsFromATPG(res.Stats)
-	return res
-}
-
-// checkSearch is the Fig. 1 deepening loop proper.
-func (c *Checker) checkSearch(ctx context.Context, p property.Property) Result {
-	mode := atpg.ModeProve
-	target := bv.FromUint64(1, 0) // counterexample: monitor driven to 0
-	if p.Kind == property.Witness {
-		mode = atpg.ModeWitness
-		target = bv.FromUint64(1, 1)
-	}
-	var agg atpg.Stats
-	aborted := false
-	deadline := time.Time{}
-	if c.opts.Limits.Timeout > 0 {
-		deadline = time.Now().Add(c.opts.Limits.Timeout)
-	}
-	for depth := c.opts.MinDepth; depth <= c.opts.MaxDepth; depth++ {
-		if ctx.Err() != nil {
-			aborted = true
-			break
-		}
-		if c.opts.Store != nil && c.opts.Store.KnownNoCex(p.Name, depth) {
-			continue
-		}
-		limits := c.opts.Limits
-		if !deadline.IsZero() {
-			remaining := time.Until(deadline)
-			if remaining <= 0 {
-				aborted = true
-				break
-			}
-			limits.Timeout = remaining
-		}
-		eng, err := atpg.NewWithFeatures(c.nl, depth, mode, limits, c.opts.Store, false, c.opts.Features)
-		if err != nil {
-			return Result{Verdict: VerdictUnknown, Depth: depth, Stats: agg}
-		}
-		eng.SetContext(ctx)
-		c.addDomains(eng, false)
-		ok := eng.Require(depth-1, p.Monitor, target)
-		for f := 0; f < depth && ok; f++ {
-			for _, a := range p.Assumes {
-				if !eng.Require(f, a, bv.FromUint64(1, 1)) {
-					ok = false
-					break
-				}
-			}
-		}
-		var st atpg.Status
-		if !ok {
-			st = atpg.StatusUnsat
-		} else {
-			st = eng.Solve()
-		}
-		agg = addStats(agg, eng.Stats())
-		switch st {
-		case atpg.StatusSat:
-			tr, init := c.extractTrace(eng, depth)
-			validated := true
-			if !c.opts.SkipValidation {
-				validated = replayValidates(c.nl, p, tr, init, depth, target)
-			}
-			if validated {
-				v := VerdictFalsified
-				if p.Kind == property.Witness {
-					v = VerdictWitnessFound
-				}
-				return Result{Verdict: v, Depth: depth, Trace: tr, InitState: init, Stats: agg, Validated: validated}
-			}
-			// A solution that fails replay indicates an implication
-			// soundness gap; treat conservatively.
-			return Result{Verdict: VerdictUnknown, Depth: depth, Trace: tr, InitState: init, Stats: agg}
-		case atpg.StatusUnsat:
-			if c.opts.Store != nil {
-				c.opts.Store.RecordNoCex(p.Name, depth)
-			}
-			// When the monitor (and assumption) cone contains no state,
-			// one frame covers all behaviours: absence of a 1-frame
-			// counterexample is a full proof.
-			if c.coneIsCombinational(p) {
-				if p.Kind == property.Witness {
-					return Result{Verdict: VerdictNoWitness, Depth: depth, Stats: agg}
-				}
-				return Result{Verdict: VerdictProved, Depth: depth, Stats: agg}
-			}
-		case atpg.StatusAbort:
-			aborted = true
-		}
-		if aborted {
-			break
-		}
-	}
-	if aborted {
-		return Result{Verdict: VerdictUnknown, Depth: c.opts.MaxDepth, Stats: agg}
-	}
-	if p.Kind == property.Witness {
-		return Result{Verdict: VerdictNoWitness, Depth: c.opts.MaxDepth, Stats: agg}
-	}
-	if c.opts.UseInduction && ctx.Err() == nil {
-		if st, stats := c.inductionStep(ctx, p, c.opts.MaxDepth); st == atpg.StatusUnsat {
-			agg = addStats(agg, stats)
-			return Result{Verdict: VerdictProved, Depth: c.opts.MaxDepth, Stats: agg}
-		} else {
-			agg = addStats(agg, stats)
-		}
-		if ctx.Err() != nil {
-			// Cancelled mid-induction: the bounded phase did complete,
-			// but the Engine contract promises Unknown for a cancelled
-			// check (a portfolio loser must not report a verdict for a
-			// run it never finished).
-			return Result{Verdict: VerdictUnknown, Depth: c.opts.MaxDepth, Stats: agg}
-		}
-	}
-	return Result{Verdict: VerdictProvedBounded, Depth: c.opts.MaxDepth, Stats: agg}
-}
-
-// coneIsCombinational reports whether the transitive fanin of the
-// monitor and every assumption is free of flip-flops, making a depth-1
-// exhaustion a complete proof.
-func (c *Checker) coneIsCombinational(p property.Property) bool {
-	if len(c.nl.FFs) == 0 {
-		return true
-	}
-	seen := make([]bool, c.nl.NumSignals())
-	stack := append([]netlist.SignalID{p.Monitor}, p.Assumes...)
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[s] {
-			continue
-		}
-		seen[s] = true
-		d := c.nl.Signals[s].Driver
-		if d == netlist.None {
-			continue
-		}
-		g := &c.nl.Gates[d]
-		if g.Kind == netlist.KDff {
-			return false
-		}
-		stack = append(stack, g.In...)
-	}
-	return true
-}
-
-// inductionStep checks the k-induction step: from *any* state (free
-// initial registers) in which the monitor holds for k consecutive
-// frames, no transition reaches a violating frame. Unsat means the
-// bounded base case extends to a full proof.
-func (c *Checker) inductionStep(ctx context.Context, p property.Property, k int) (atpg.Status, atpg.Stats) {
-	limits := c.opts.Limits
-	limits.MaxDecisions = c.opts.InductionDecisions
-	if limits.MaxDecisions == 0 {
-		limits.MaxDecisions = 5000
-	}
-	limits.MaxBacktracks = 2 * limits.MaxDecisions
-	// Cheap pre-check: is the violation alone — any-state start plus
-	// the local-FSM fixpoint domains, without the induction-hypothesis
-	// frames — already unsatisfiable? If so the full step is too
-	// (removing constraints preserves Unsat), and we skip the expensive
-	// constructive justification of the hypothesis frames.
-	if pre, err := atpg.NewWithFeatures(c.nl, 1, atpg.ModeProve, limits, c.opts.Store, true, c.opts.Features); err == nil {
-		pre.SetContext(ctx)
-		c.addDomains(pre, true)
-		ok := pre.Require(0, p.Monitor, bv.FromUint64(1, 0))
-		for _, a := range p.Assumes {
-			ok = ok && pre.Require(0, a, bv.FromUint64(1, 1))
-		}
-		if !ok {
-			return atpg.StatusUnsat, pre.Stats()
-		}
-		if st := pre.Solve(); st == atpg.StatusUnsat {
-			return atpg.StatusUnsat, pre.Stats()
-		}
-	}
-	eng, err := atpg.NewWithFeatures(c.nl, k+1, atpg.ModeProve, limits, c.opts.Store, true, c.opts.Features)
-	if err != nil {
-		return atpg.StatusAbort, atpg.Stats{}
-	}
-	eng.SetContext(ctx)
-	// Strengthen the any-state start with the fixpoint reachable sets —
-	// states outside a local FSM's STG are unreachable, so excluding
-	// them preserves soundness and often makes the step inductive.
-	c.addDomains(eng, true)
-	ok := true
-	for f := 0; f < k && ok; f++ {
-		ok = eng.Require(f, p.Monitor, bv.FromUint64(1, 1))
-	}
-	for f := 0; f <= k && ok; f++ {
-		for _, a := range p.Assumes {
-			if !eng.Require(f, a, bv.FromUint64(1, 1)) {
-				ok = false
-				break
-			}
-		}
-	}
-	if ok {
-		ok = eng.Require(k, p.Monitor, bv.FromUint64(1, 0))
-	}
-	if !ok {
-		return atpg.StatusUnsat, eng.Stats()
-	}
-	st := eng.Solve()
-	return st, eng.Stats()
-}
-
-// extractTrace reads the minimum completion of the primary-input cubes
-// per frame, plus pinned values for uninitialized registers.
-func (c *Checker) extractTrace(eng *atpg.Engine, depth int) (*sim.Trace, map[netlist.SignalID]bv.BV) {
-	tr := &sim.Trace{Inputs: make([]map[netlist.SignalID]bv.BV, depth)}
-	for f := 0; f < depth; f++ {
-		tr.Inputs[f] = map[netlist.SignalID]bv.BV{}
-		for _, pi := range c.nl.PIs {
-			tr.Inputs[f][pi] = eng.Value(f, pi).Min()
-		}
-	}
-	init := map[netlist.SignalID]bv.BV{}
-	for _, ff := range c.nl.FFs {
-		g := &c.nl.Gates[ff]
-		if g.Init.IsAllX() || !g.Init.IsFullyKnown() {
-			init[g.Out] = eng.Value(0, g.Out).Min()
-		}
-	}
-	return tr, init
-}
-
-// replayValidates replays a counterexample/witness trace on the
-// three-valued simulator and confirms the monitor takes the target
-// value at the final frame while every assumption holds throughout. It
-// is shared by the ATPG checker and the engine adapters (a BMC trace is
-// validated exactly the same way an ATPG trace is).
-func replayValidates(nl *netlist.Netlist, p property.Property, tr *sim.Trace, init map[netlist.SignalID]bv.BV, depth int, target bv.BV) bool {
-	s, err := sim.New(nl)
-	if err != nil {
-		return false
-	}
-	s.Reset()
-	for sig, v := range init {
-		if err := s.SetRegister(sig, v); err != nil {
-			return false
-		}
-	}
-	okAll := true
-	for t := 0; t < depth; t++ {
-		for sig, v := range tr.Inputs[t] {
-			if s.SetInput(sig, v) != nil {
-				return false
-			}
-		}
-		s.Eval()
-		for _, a := range p.Assumes {
-			if v, ok := s.Get(a).Uint64(); !ok || v != 1 {
-				okAll = false
-			}
-		}
-		if t == depth-1 {
-			got := s.Get(p.Monitor)
-			want, _ := target.Uint64()
-			if v, ok := got.Uint64(); !ok || v != want {
-				okAll = false
-			}
-		}
-		s.Step()
-	}
-	return okAll
-}
-
-func addStats(a, b atpg.Stats) atpg.Stats {
-	a.Decisions += b.Decisions
-	a.Backtracks += b.Backtracks
-	a.Implications += b.Implications
-	a.ArithCalls += b.ArithCalls
-	a.FrontierScans += b.FrontierScans
-	a.FrontierChecks += b.FrontierChecks
-	a.FrontierSkips += b.FrontierSkips
-	a.Backjumps += b.Backjumps
-	a.LevelsSkipped += b.LevelsSkipped
-	a.EstgReorders += b.EstgReorders
-	a.EstgPrunes += b.EstgPrunes
-	if b.MaxTrail > a.MaxTrail {
-		a.MaxTrail = b.MaxTrail
-	}
-	return a
 }

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/bmc"
+	"repro/internal/bv"
+	"repro/internal/circuits"
+	"repro/internal/elab"
+	"repro/internal/mc"
+	"repro/internal/netlist"
+	"repro/internal/property"
+)
+
+// table2Short returns the Table-2 designs with the property subset the
+// concurrent suites use (arbiter p5's serial induction proof is many
+// seconds under -race; every other property completes in milliseconds).
+func table2Short(t *testing.T) []*circuits.Design {
+	t.Helper()
+	designs, err := circuits.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range designs {
+		var props []property.Property
+		var ids []string
+		for i, p := range d.Props {
+			if d.PropIDs[i] == "p5" {
+				continue
+			}
+			props = append(props, p)
+			ids = append(ids, d.PropIDs[i])
+		}
+		d.Props, d.PropIDs = props, ids
+	}
+	return designs
+}
+
+// bddCheapDesigns lists the Table-2 designs whose BDD reachability
+// completes in tens of milliseconds; the wide decoder/ring state
+// spaces run seconds per fixpoint and would dominate the -race suite.
+var bddCheapDesigns = map[string]bool{"arbiter": true, "alarm_clock": true}
+
+// TestDesignSharedSessionsRace is the Design/Session concurrency
+// contract: 8 goroutines share one compiled Design and run concurrent
+// sessions with mixed engines (ATPG, template-BMC, snapshot-BDD) over
+// the Table-2 properties, and every concurrent result must equal the
+// serial baseline — verdict always, decision/implication counts too
+// for the deterministic ATPG and BMC paths. Run under -race in CI.
+func TestDesignSharedSessionsRace(t *testing.T) {
+	designs := table2Short(t)
+	for _, cd := range designs {
+		cd := cd
+		t.Run(cd.Name, func(t *testing.T) {
+			d, err := DesignFor(cd.NL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines := []string{EngineATPG, EngineBMC}
+			if bddCheapDesigns[cd.Name] {
+				engines = append(engines, EngineBDD)
+			}
+			// Serial baselines: one fresh session per (engine, property),
+			// exactly the shape each goroutine below uses.
+			type key struct {
+				eng  string
+				prop int
+			}
+			baseline := map[key]Result{}
+			for _, eng := range engines {
+				for i := range cd.Props {
+					baseline[key{eng, i}] = checkVia(t, d, eng, cd, i)
+				}
+			}
+			const workers = 8
+			results := make([]map[key]Result, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					mine := map[key]Result{}
+					eng := engines[w%len(engines)]
+					for i := range cd.Props {
+						mine[key{eng, i}] = checkVia(t, d, eng, cd, i)
+					}
+					results[w] = mine
+				}()
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				for k, got := range results[w] {
+					want := baseline[k]
+					id := cd.PropIDs[k.prop]
+					if got.Verdict != want.Verdict {
+						t.Errorf("worker %d %s_%s [%s]: verdict %v, serial %v",
+							w, cd.Name, id, k.eng, got.Verdict, want.Verdict)
+					}
+					// ATPG and BMC searches are deterministic given a fresh
+					// session; concurrency must not perturb their effort.
+					if k.eng != EngineBDD {
+						if got.Metrics.Decisions != want.Metrics.Decisions ||
+							got.Metrics.Implications != want.Metrics.Implications {
+							t.Errorf("worker %d %s_%s [%s]: decisions/implications %d/%d, serial %d/%d",
+								w, cd.Name, id, k.eng,
+								got.Metrics.Decisions, got.Metrics.Implications,
+								want.Metrics.Decisions, want.Metrics.Implications)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkVia opens a fresh session over d and checks one property
+// through the named engine — the per-check unit both the serial
+// baseline and the concurrent workers use, so learned-store state
+// never leaks between compared runs.
+func checkVia(t *testing.T, d *Design, engine string, cd *circuits.Design, propIdx int) Result {
+	t.Helper()
+	depth := circuits.TableDepth(cd.PropIDs[propIdx])
+	opts := Options{MaxDepth: depth, UseInduction: true}
+	if engine != EngineATPG {
+		opts.DisableLocalFSM = true
+		opts.DisableLearnedStore = true
+	}
+	sess, err := d.NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng Engine
+	switch engine {
+	case EngineATPG:
+		eng = sess.ATPGEngine()
+	case EngineBMC:
+		eng = sess.BMCEngine(bmc.Options{})
+	case EngineBDD:
+		eng = sess.BDDEngine(mc.Options{})
+	}
+	return eng.Check(context.Background(), Problem{NL: cd.NL, Prop: cd.Props[propIdx], MaxDepth: depth})
+}
+
+// TestEngineCachesBuildOnce pins the build-once contract: under
+// concurrent first use from many goroutines, each per-engine compiled
+// cache (local FSMs, ATPG prep, BMC frame template, BDD model) is
+// built exactly once and every caller sees the same artifact.
+func TestEngineCachesBuildOnce(t *testing.T) {
+	cd, err := circuits.AlarmClock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDesign(cd.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	type got struct {
+		ms, prep, tmpl, comp any
+	}
+	outs := make([]got, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ms, err := d.Machines()
+			if err != nil {
+				t.Error(err)
+			}
+			prep, err := d.ATPGPrep()
+			if err != nil {
+				t.Error(err)
+			}
+			tmpl, err := d.BMCTemplate()
+			if err != nil {
+				t.Error(err)
+			}
+			comp, err := d.BDDModel()
+			if err != nil {
+				t.Error(err)
+			}
+			var msAny any
+			if len(ms) > 0 {
+				msAny = ms[0]
+			}
+			outs[w] = got{ms: msAny, prep: prep, tmpl: tmpl, comp: comp}
+		}()
+	}
+	wg.Wait()
+	fsmB, atpgB, bmcB, bddB := d.CacheBuilds()
+	if fsmB != 1 || atpgB != 1 || bmcB != 1 || bddB != 1 {
+		t.Errorf("cache builds fsm=%d atpg=%d bmc=%d bdd=%d, want 1 each", fsmB, atpgB, bmcB, bddB)
+	}
+	for w := 1; w < workers; w++ {
+		if outs[w] != outs[0] {
+			t.Errorf("worker %d saw different cached artifacts", w)
+		}
+	}
+}
+
+// TestBatchElaboratesOnce pins the compile-once contract end to end:
+// compiling a design from source elaborates exactly once, and a
+// CheckAll batch on an 8-worker pool — the configuration the
+// acceptance criteria name — performs zero further elaborations and
+// zero further FSM extractions, across repeated batches and repeated
+// New calls.
+func TestBatchElaboratesOnce(t *testing.T) {
+	designs := table2Short(t)
+	before := elab.Elaborations()
+	for _, cd := range designs {
+		maxDepth := 0
+		for _, id := range cd.PropIDs {
+			if dep := circuits.TableDepth(id); dep > maxDepth {
+				maxDepth = dep
+			}
+		}
+		c, err := New(cd.NL, Options{MaxDepth: maxDepth, UseInduction: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ {
+			results := c.CheckAll(context.Background(), cd.Props, BatchOptions{Jobs: 8})
+			for i, res := range results {
+				if res.Property != cd.Props[i].Name {
+					t.Fatalf("%s: result %d out of input order", cd.Name, i)
+				}
+			}
+		}
+		// A second New over the same netlist must reuse the cached
+		// Design outright.
+		c2, err := New(cd.NL, Options{MaxDepth: maxDepth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Design() != c.Design() {
+			t.Errorf("%s: repeated New compiled a second Design", cd.Name)
+		}
+		if fsmB, _, _, _ := c.Design().CacheBuilds(); fsmB > 1 {
+			t.Errorf("%s: local FSMs extracted %d times", cd.Name, fsmB)
+		}
+	}
+	if after := elab.Elaborations(); after != before {
+		t.Errorf("CheckAll batches elaborated %d more times; elaboration must happen exactly once, at design compile", after-before)
+	}
+}
+
+// TestSessionSurvivesPostDesignMonitors pins the staleness guards: a
+// session created before monitor logic is synthesized onto the same
+// netlist must still check the new property correctly (fresh ATPG
+// prep, cone fallback walk, BMC template recompile) — the pre-split
+// Checker rebuilt everything per check, so this flow must keep
+// working.
+func TestSessionSurvivesPostDesignMonitors(t *testing.T) {
+	nl := netlist.New("late")
+	en := nl.AddInput("en", 1)
+	q := nl.DffPlaceholder(3, bv.FromUint64(3, 0), "q")
+	inc := nl.Binary(netlist.KAdd, q, nl.ConstUint(3, 1))
+	nl.ConnectDff(q, nl.Mux(en, q, inc))
+	sess, err := New(nl, Options{MaxDepth: 8, UseInduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every design cache before the netlist grows.
+	if _, err := sess.Design().ATPGPrep(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Design().BMCTemplate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New monitor logic (a comparator and its cone) after the design —
+	// and after the engine caches — were built.
+	pb := property.Builder{NL: nl}
+	p, err := property.NewInvariant(nl, "late-small", pb.InRange(q, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sess.Check(p)
+	fresh, err := New(nl, Options{MaxDepth: 8, UseInduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Check(p)
+	if got.Verdict != want.Verdict || got.Depth != want.Depth {
+		t.Fatalf("stale session: %v@%d, fresh checker %v@%d",
+			got.Verdict, got.Depth, want.Verdict, want.Depth)
+	}
+	if got.Verdict != VerdictFalsified {
+		t.Fatalf("got %v, want falsified (q reaches 6)", got.Verdict)
+	}
+	// The template path must recompile rather than mis-address frames.
+	bmcRes := sess.BMCEngine(bmc.Options{}).Check(context.Background(),
+		Problem{NL: nl, Prop: p, MaxDepth: 8})
+	if bmcRes.Verdict != VerdictFalsified || bmcRes.Depth != got.Depth {
+		t.Fatalf("stale-session bmc: %v@%d, want falsified@%d",
+			bmcRes.Verdict, bmcRes.Depth, got.Depth)
+	}
+}

@@ -96,25 +96,25 @@ func metricsFromATPG(st atpg.Stats) EngineMetrics {
 // ---------------------------------------------------------------------
 // ATPG adapter.
 
-// checkerEngine adapts a Checker — its options, learned ESTG store and
-// extracted local FSMs — as the "atpg" Engine. All Checker state is
+// checkerEngine adapts a Session — its options, learned ESTG store and
+// the design's local FSMs — as the "atpg" Engine. All Session state is
 // either immutable after construction or internally synchronized
 // (estg.Store), so one checkerEngine serves concurrent Check calls.
-type checkerEngine struct{ c *Checker }
+type checkerEngine struct{ c *Session }
 
-// ATPGEngine returns this checker's word-level ATPG path as an Engine.
-// The adapter shares the checker's learned store, so portfolio members
-// and batch workers built from the same checker learn from each other.
-func (c *Checker) ATPGEngine() Engine { return &checkerEngine{c} }
+// ATPGEngine returns this session's word-level ATPG path as an Engine.
+// The adapter shares the session's learned store, so portfolio members
+// and batch workers built from the same session learn from each other.
+func (c *Session) ATPGEngine() Engine { return &checkerEngine{c} }
 
 func (e *checkerEngine) Name() string { return EngineATPG }
 
 func (e *checkerEngine) Check(ctx context.Context, prob Problem) EngineResult {
 	c := e.c
 	if prob.NL != c.nl || (prob.MaxDepth != 0 && prob.MaxDepth != c.opts.MaxDepth) {
-		// A problem over a different design (or bound): build a sibling
-		// checker with the same options. FSM extraction is memoized per
-		// netlist, so this is cheap after the first.
+		// A problem over a different design (or bound): open a sibling
+		// session with the same options. The design cache makes this
+		// cheap — compilation runs at most once per netlist.
 		opts := c.opts
 		if prob.MaxDepth != 0 {
 			opts.MaxDepth = prob.MaxDepth
@@ -181,12 +181,19 @@ func (e *bmcEngine) Check(ctx context.Context, prob Problem) EngineResult {
 	}
 	start := time.Now()
 	br := bmc.CheckCtx(ctx, prob.NL, prob.Prop, opts)
+	return bmcResult(prob, br, time.Since(start))
+}
+
+// bmcResult maps a BMC result onto the unified Result, replay-validating
+// counterexamples exactly like ATPG traces. Shared by the standalone
+// and the design-cached BMC engines.
+func bmcResult(prob Problem, br bmc.Result, elapsed time.Duration) Result {
 	res := Result{
 		Property: prob.Prop.Name,
 		Engine:   EngineBMC,
 		Depth:    br.Depth,
 		Trace:    br.Trace,
-		Elapsed:  time.Since(start),
+		Elapsed:  elapsed,
 		Metrics: EngineMetrics{
 			Decisions:    br.Decisions,
 			Conflicts:    br.Conflicts,
@@ -221,6 +228,43 @@ func (e *bmcEngine) Check(ctx context.Context, prob Problem) EngineResult {
 	return res
 }
 
+// BMCEngine returns the SAT-based bounded model checker bound to this
+// session's design: the one-frame CNF template is compiled at most
+// once on the Design (sync.Once) and each check instantiates it into a
+// private solver, so N workers share the bit-blasting work. Problems
+// over a different netlist fall back to the standalone path.
+func (c *Session) BMCEngine(opts bmc.Options) Engine {
+	return &sessionBMCEngine{c: c, opts: opts}
+}
+
+type sessionBMCEngine struct {
+	c    *Session
+	opts bmc.Options
+}
+
+func (e *sessionBMCEngine) Name() string { return EngineBMC }
+
+func (e *sessionBMCEngine) Check(ctx context.Context, prob Problem) EngineResult {
+	opts := e.opts
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = prob.depth()
+	}
+	start := time.Now()
+	if prob.NL != e.c.nl {
+		return bmcResult(prob, bmc.CheckCtx(ctx, prob.NL, prob.Prop, opts), time.Since(start))
+	}
+	tmpl, err := e.c.d.BMCTemplate()
+	if err != nil {
+		// Design not bit-blastable at all (e.g. a >64-bit multiplier):
+		// there is no alternative BMC encoding to fall back to — the
+		// pre-template path failed on the same gate — so report Unknown
+		// without re-running the failing compile per check.
+		return Result{Property: prob.Prop.Name, Verdict: VerdictUnknown,
+			Engine: EngineBMC, Elapsed: time.Since(start)}
+	}
+	return bmcResult(prob, bmc.CheckCompiled(ctx, tmpl, prob.Prop, opts), time.Since(start))
+}
+
 // ---------------------------------------------------------------------
 // BDD adapter.
 
@@ -238,11 +282,17 @@ func (e *bddEngine) Name() string { return EngineBDD }
 func (e *bddEngine) Check(ctx context.Context, prob Problem) EngineResult {
 	start := time.Now()
 	mr := mc.CheckCtx(ctx, prob.NL, prob.Prop, e.opts)
+	return bddResult(prob, mr, time.Since(start))
+}
+
+// bddResult maps a BDD reachability result onto the unified Result.
+// Shared by the standalone and the design-cached BDD engines.
+func bddResult(prob Problem, mr mc.Result, elapsed time.Duration) Result {
 	res := Result{
 		Property: prob.Prop.Name,
 		Engine:   EngineBDD,
 		Depth:    mr.Iters,
-		Elapsed:  time.Since(start),
+		Elapsed:  elapsed,
 		Metrics: EngineMetrics{
 			Decisions: int64(mr.Iters),
 			MemUnits:  int64(mr.PeakNodes),
@@ -266,4 +316,35 @@ func (e *bddEngine) Check(ctx context.Context, prob Problem) EngineResult {
 		res.Verdict = VerdictUnknown
 	}
 	return res
+}
+
+// BDDEngine returns the BDD reachability engine bound to this
+// session's design: the symbolic model (variable order, per-signal
+// functions, transition relation) is compiled at most once on the
+// Design and each check loads the snapshot into a private manager.
+// Designs whose model blows the build-time node budget — and problems
+// over a different netlist — fall back to the standalone per-run path,
+// which stays fully interruptible during construction.
+func (c *Session) BDDEngine(opts mc.Options) Engine {
+	return &sessionBDDEngine{c: c, opts: opts}
+}
+
+type sessionBDDEngine struct {
+	c    *Session
+	opts mc.Options
+}
+
+func (e *sessionBDDEngine) Name() string { return EngineBDD }
+
+func (e *sessionBDDEngine) Check(ctx context.Context, prob Problem) EngineResult {
+	start := time.Now()
+	if prob.NL != e.c.nl {
+		return bddResult(prob, mc.CheckCtx(ctx, prob.NL, prob.Prop, e.opts), time.Since(start))
+	}
+	comp, err := e.c.d.BDDModel()
+	if err != nil {
+		// Model too big to cache: run the direct interruptible path.
+		return bddResult(prob, mc.CheckCtx(ctx, prob.NL, prob.Prop, e.opts), time.Since(start))
+	}
+	return bddResult(prob, comp.CheckCtx(ctx, prob.Prop, e.opts), time.Since(start))
 }

@@ -100,18 +100,20 @@ func (p *Portfolio) Check(ctx context.Context, prob Problem) EngineResult {
 	return res
 }
 
-// Portfolio returns the default engine race for this checker's design:
-// the checker's own ATPG path (sharing its learned store), SAT-BMC,
-// and BDD reachability — in that fixed priority order.
-func (c *Checker) Portfolio() *Portfolio {
+// Portfolio returns the default engine race for this session's design:
+// the session's own ATPG path (sharing its learned store), SAT-BMC and
+// BDD reachability — in that fixed priority order. The BMC and BDD
+// members run over the design's compiled caches (frame template, model
+// snapshot), so every race after the first pays only per-run setup.
+func (c *Session) Portfolio() *Portfolio {
 	return NewPortfolio(
 		c.ATPGEngine(),
-		NewBMCEngine(bmc.Options{}),
-		NewBDDEngine(mc.Options{}),
+		c.BMCEngine(bmc.Options{}),
+		c.BDDEngine(mc.Options{}),
 	)
 }
 
 // CheckPortfolio races the default portfolio on one property.
-func (c *Checker) CheckPortfolio(ctx context.Context, p property.Property) Result {
+func (c *Session) CheckPortfolio(ctx context.Context, p property.Property) Result {
 	return c.Portfolio().Check(ctx, Problem{NL: c.nl, Prop: p, MaxDepth: c.opts.MaxDepth})
 }

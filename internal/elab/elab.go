@@ -18,11 +18,22 @@ package elab
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/bv"
 	"repro/internal/netlist"
 	"repro/internal/verilog"
 )
+
+// elaborations counts Elaborate calls process-wide. The Design/Session
+// layer promises that batch workers and repeated sessions never
+// re-elaborate a design; tests assert that promise against this
+// counter.
+var elaborations atomic.Int64
+
+// Elaborations returns the number of Elaborate calls so far in this
+// process (test observability for the compile-once contract).
+func Elaborations() int64 { return elaborations.Load() }
 
 // sortedKeys returns a map's string keys in sorted order. Elaboration
 // iterates several maps while emitting gates; sorting those iterations
@@ -42,6 +53,7 @@ func sortedKeys[V any](m map[string]V) []string {
 // Elaborate flattens the design rooted at module top into a netlist.
 // paramOverrides overrides top-level parameters by name.
 func Elaborate(src *verilog.Source, top string, paramOverrides map[string]uint64) (*netlist.Netlist, error) {
+	elaborations.Add(1)
 	mod := src.FindModule(top)
 	if mod == nil {
 		return nil, fmt.Errorf("elab: no module %q", top)

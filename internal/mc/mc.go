@@ -8,6 +8,7 @@ package mc
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/bdd"
@@ -62,35 +63,33 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
 	return CheckCtx(context.Background(), nl, p, opts)
 }
 
-// CheckCtx is Check under a cancellation context. Cancellation is
-// observed at two grains: between fixpoint iterations, and — through
-// the manager's Interrupt hook — every few thousand node allocations
-// inside a single BDD operation, so even a blowing-up image
-// computation returns Unknown promptly.
-func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opts Options) (res Result) {
-	start := time.Now()
-	if opts.MaxNodes == 0 {
-		opts.MaxNodes = 4 << 20
-	}
-	if opts.MaxIters == 0 {
-		opts.MaxIters = 10000
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			if r == bdd.ErrNodeLimit || r == bdd.ErrInterrupted {
-				res.Verdict = Unknown
-				if r == bdd.ErrNodeLimit {
-					res.PeakNodes = opts.MaxNodes
-				}
-				res.Elapsed = time.Since(start)
-				return
-			}
-			panic(r)
-		}
-	}()
+// model is the symbolic form of a netlist inside one manager: the
+// variable layout, the per-bit signal functions, the monolithic
+// transition relation and the initial-state set.
+type model struct {
+	nState, nIn int
+	funcs       map[netlist.SignalID][]bdd.Ref
+	t, init     bdd.Ref
+}
 
-	// Variable layout: state bit i -> current level 2i, next level
-	// 2i+1; primary input bits after all state variables.
+// layoutSizes returns the state-bit and input-bit counts of the
+// variable layout — the single sizing rule for the managers buildModel
+// populates (2 variables per state bit + 1 per input bit).
+func layoutSizes(nl *netlist.Netlist) (nState, nIn int) {
+	for _, ff := range nl.FFs {
+		nState += nl.Width(nl.Gates[ff].Out)
+	}
+	for _, pi := range nl.PIs {
+		nIn += nl.Width(pi)
+	}
+	return nState, nIn
+}
+
+// buildModel constructs the symbolic model in m. Variable layout:
+// state bit i -> current level 2i, next level 2i+1; primary input bits
+// after all state variables (the layout countStates and the image
+// quantification rely on).
+func buildModel(m *bdd.Manager, nl *netlist.Netlist) (model, error) {
 	nState := 0
 	ffBase := map[netlist.GateID]int{}
 	for _, ff := range nl.FFs {
@@ -103,12 +102,6 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 		inBase[pi] = 2*nState + nIn
 		nIn += nl.Width(pi)
 	}
-	m := bdd.New(2*nState + nIn)
-	m.MaxNodes = opts.MaxNodes
-	if ctx.Done() != nil { // cancellable: poll inside node allocation
-		m.Interrupt = func() bool { return ctx.Err() != nil }
-	}
-
 	curVar := func(stateBit int) int { return 2 * stateBit }
 	nextVar := func(stateBit int) int { return 2*stateBit + 1 }
 
@@ -135,9 +128,7 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 	}
 	order, err := nl.TopoOrder()
 	if err != nil {
-		res.Verdict = Unknown
-		res.Elapsed = time.Since(start)
-		return
+		return model{}, err
 	}
 	for _, gid := range order {
 		g := &nl.Gates[gid]
@@ -168,20 +159,30 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 			}
 		}
 	}
+	return model{nState: nState, nIn: nIn, funcs: funcs, t: t, init: initR}, nil
+}
+
+// checkReach runs the forward-reachability fixpoint of one property
+// over a built model. Shared by the direct path (CheckCtx) and the
+// compiled path (Compiled.CheckCtx); both produce identical verdicts,
+// iteration counts and node counts because the model is structurally
+// identical either way.
+func checkReach(ctx context.Context, m *bdd.Manager, mo model, p property.Property, opts Options, start time.Time) (res Result) {
 	assume := bdd.True
 	for _, a := range p.Assumes {
-		assume = m.And(assume, funcs[a][0])
+		assume = m.And(assume, mo.funcs[a][0])
 	}
-	mon := funcs[p.Monitor][0]
+	mon := mo.funcs[p.Monitor][0]
 	bad := m.Not(mon)
 	if p.Kind == property.Witness {
 		bad = mon
 	}
+	nState, nIn := mo.nState, mo.nIn
 	isCurOrInput := func(v int) bool {
 		return (v < 2*nState && v%2 == 0) || v >= 2*nState
 	}
 
-	reached := initR
+	reached := mo.init
 	for iter := 0; iter <= opts.MaxIters; iter++ {
 		if ctx.Err() != nil {
 			res.Verdict = Unknown
@@ -198,7 +199,7 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 			res.Elapsed = time.Since(start)
 			return
 		}
-		img := m.Exists(m.And(m.And(t, reached), assume), isCurOrInput)
+		img := m.Exists(m.And(m.And(mo.t, reached), assume), isCurOrInput)
 		img = m.Rename(img, func(v int) int { return v - 1 }) // next -> current
 		newR := m.Or(reached, img)
 		if newR == reached {
@@ -216,6 +217,131 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 	res.PeakNodes = m.NumNodes()
 	res.Elapsed = time.Since(start)
 	return
+}
+
+// recoverBudget converts the manager's panic-style resource signals
+// into an Unknown verdict; peak is the node count reported on a
+// node-limit hit.
+func recoverBudget(res *Result, start time.Time, peak int) {
+	if r := recover(); r != nil {
+		if r == bdd.ErrNodeLimit || r == bdd.ErrInterrupted {
+			res.Verdict = Unknown
+			if r == bdd.ErrNodeLimit {
+				res.PeakNodes = peak
+			}
+			res.Elapsed = time.Since(start)
+			return
+		}
+		panic(r)
+	}
+}
+
+// CheckCtx is Check under a cancellation context. Cancellation is
+// observed at two grains: between fixpoint iterations, and — through
+// the manager's Interrupt hook — every few thousand node allocations
+// inside a single BDD operation, so even a blowing-up image
+// computation returns Unknown promptly.
+func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opts Options) (res Result) {
+	start := time.Now()
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 4 << 20
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 10000
+	}
+	defer recoverBudget(&res, start, opts.MaxNodes)
+
+	nState, nIn := layoutSizes(nl)
+	m := bdd.New(2*nState + nIn)
+	m.MaxNodes = opts.MaxNodes
+	if ctx.Done() != nil { // cancellable: poll inside node allocation
+		m.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	mo, err := buildModel(m, nl)
+	if err != nil {
+		res.Verdict = Unknown
+		res.Elapsed = time.Since(start)
+		return
+	}
+	return checkReach(ctx, m, mo, p, opts, start)
+}
+
+// Compiled is the reusable symbolic form of one design: the node-table
+// snapshot of a fully built model (per-signal functions, transition
+// relation, initial states) plus the refs into it. It is immutable and
+// safe for any number of concurrent CheckCtx calls — each call loads
+// the snapshot into a private manager (linear in the node count, no
+// apply-cache work) instead of re-deriving the model from the netlist.
+type Compiled struct {
+	nl    *netlist.Netlist
+	nVars int
+	nodes []bdd.Node
+	mo    model
+}
+
+// CompileOptions bounds the one-time model construction.
+type CompileOptions struct {
+	// MaxNodes is the build-time node budget (0 = 4M). A design whose
+	// transition relation blows past it fails to compile; checks must
+	// then fall back to the direct (per-run, interruptible) path.
+	MaxNodes int
+}
+
+// Compile builds the symbolic model of a design once, for reuse across
+// properties and sessions. The construction is bounded by the node
+// budget rather than a context: it is meant to run once per design
+// (e.g. under the core Design's sync.Once), not per check.
+func Compile(nl *netlist.Netlist, opts CompileOptions) (c *Compiled, err error) {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 4 << 20
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r == bdd.ErrNodeLimit {
+				c, err = nil, fmt.Errorf("mc: node budget %d exceeded compiling %s", opts.MaxNodes, nl.Name)
+				return
+			}
+			panic(r)
+		}
+	}()
+	nState, nIn := layoutSizes(nl)
+	m := bdd.New(2*nState + nIn)
+	m.MaxNodes = opts.MaxNodes
+	mo, err := buildModel(m, nl)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{nl: nl, nVars: m.NumVars(), nodes: m.Snapshot(), mo: mo}, nil
+}
+
+// Netlist returns the compiled design.
+func (c *Compiled) Netlist() *netlist.Netlist { return c.nl }
+
+// NumNodes returns the snapshot size (the memory cost every session
+// starts from).
+func (c *Compiled) NumNodes() int { return len(c.nodes) + 2 }
+
+// CheckCtx checks one property against the compiled model: the
+// snapshot is loaded into a fresh private manager (so concurrent calls
+// never share mutable state) and the reachability fixpoint runs under
+// the session's own node budget and cancellation hook. Verdicts,
+// iteration counts and node counts are identical to the direct
+// CheckCtx — the loaded model is ref-for-ref the same.
+func (c *Compiled) CheckCtx(ctx context.Context, p property.Property, opts Options) (res Result) {
+	start := time.Now()
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 4 << 20
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 10000
+	}
+	defer recoverBudget(&res, start, opts.MaxNodes)
+	m := bdd.NewFromSnapshot(c.nVars, c.nodes)
+	m.MaxNodes = opts.MaxNodes
+	if ctx.Done() != nil {
+		m.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	return checkReach(ctx, m, c.mo, p, opts, start)
 }
 
 // countStates projects r onto the current-state variables and counts

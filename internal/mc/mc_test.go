@@ -1,6 +1,8 @@
 package mc
 
 import (
+	"context"
+	"sync"
 	"testing"
 
 	"repro/internal/bv"
@@ -114,5 +116,79 @@ func TestNodeBudgetGivesUnknown(t *testing.T) {
 	res := Check(nl, p, Options{MaxNodes: 300})
 	if res.Verdict != Unknown {
 		t.Fatalf("verdict = %v, want unknown (node blow-up)", res.Verdict)
+	}
+}
+
+// TestCompiledMatchesDirect pins the compile/load path against the
+// direct path: checking through a Compiled model (snapshot loaded into
+// a fresh manager per call) must reproduce the direct CheckCtx result
+// exactly — verdict, iteration count, state count and node count — for
+// every property kind, and repeated/concurrent calls must agree.
+func TestCompiledMatchesDirect(t *testing.T) {
+	// A counter with a wrap plus an input-held branch: exercises
+	// proved, falsified and witness verdicts.
+	build := func() *netlist.Netlist {
+		nl := netlist.New("cmp")
+		en := nl.AddInput("en", 1)
+		q := nl.DffPlaceholder(3, bv.FromUint64(3, 0), "q")
+		wrap := nl.Binary(netlist.KEq, q, nl.ConstUint(3, 5))
+		inc := nl.Binary(netlist.KAdd, q, nl.ConstUint(3, 1))
+		step := nl.Mux(wrap, inc, nl.ConstUint(3, 0))
+		nl.ConnectDff(q, nl.Mux(en, q, step))
+		return nl
+	}
+	nl := build()
+	q, _ := nl.SignalByName("q")
+	pb := property.Builder{NL: nl}
+	inRange, _ := property.NewInvariant(nl, "in-range", pb.InRange(q, 0, 5))
+	never3, _ := property.NewInvariant(nl, "never-3", pb.NeverValue(q, 3))
+	reach5, _ := property.NewWitness(nl, "reach-5", pb.Reaches(q, 5))
+	props := []property.Property{inRange, never3, reach5}
+
+	comp, err := Compile(nl, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range props {
+		direct := Check(nl, p, Options{})
+		loaded := comp.CheckCtx(context.Background(), p, Options{})
+		if direct.Verdict != loaded.Verdict || direct.Iters != loaded.Iters ||
+			direct.States != loaded.States || direct.PeakNodes != loaded.PeakNodes {
+			t.Errorf("%s: direct {%v iters=%d states=%v nodes=%d}, compiled {%v iters=%d states=%v nodes=%d}",
+				p.Name, direct.Verdict, direct.Iters, direct.States, direct.PeakNodes,
+				loaded.Verdict, loaded.Iters, loaded.States, loaded.PeakNodes)
+		}
+	}
+
+	// Concurrent sessions over one compiled model: private managers,
+	// identical answers.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := props[w%len(props)]
+			direct := Check(nl, p, Options{})
+			got := comp.CheckCtx(context.Background(), p, Options{})
+			if got.Verdict != direct.Verdict || got.Iters != direct.Iters {
+				t.Errorf("worker %d %s: %v/%d, want %v/%d", w, p.Name,
+					got.Verdict, got.Iters, direct.Verdict, direct.Iters)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCompileRespectsNodeBudget: a design that blows the build budget
+// fails to compile with an error instead of panicking.
+func TestCompileRespectsNodeBudget(t *testing.T) {
+	nl := netlist.New("blow2")
+	a := nl.AddInput("a", 8)
+	bIn := nl.AddInput("b", 8)
+	q := nl.Dff(nl.Binary(netlist.KMul, a, bIn), bv.FromUint64(8, 0), "q")
+	_ = q
+	if _, err := Compile(nl, CompileOptions{MaxNodes: 300}); err == nil {
+		t.Fatal("compile under a tiny node budget succeeded, want error")
 	}
 }

@@ -68,6 +68,44 @@ func (p Property) WithAssume(sigs ...netlist.SignalID) Property {
 	return p
 }
 
+// FromNames builds properties from named one-bit signals: each
+// invariant name asserts the signal is always 1, each witness name
+// asks for a trace driving it to 1. Property names are the signal
+// names; the output order is invariants then witnesses, each in input
+// order — the order batch results come back in. Shared by the
+// assertcheck CLI and the assertd serving front end so the two agree
+// on what a request means.
+func FromNames(nl *netlist.Netlist, invariants, witnesses []string) ([]Property, error) {
+	var props []Property
+	add := func(names []string, kind Kind) error {
+		for _, name := range names {
+			sig, ok := nl.SignalByName(name)
+			if !ok {
+				return fmt.Errorf("property: no signal %q in %s", name, nl.Name)
+			}
+			var p Property
+			var err error
+			if kind == Invariant {
+				p, err = NewInvariant(nl, name, sig)
+			} else {
+				p, err = NewWitness(nl, name, sig)
+			}
+			if err != nil {
+				return err
+			}
+			props = append(props, p)
+		}
+		return nil
+	}
+	if err := add(invariants, Invariant); err != nil {
+		return nil, err
+	}
+	if err := add(witnesses, Witness); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
 // Builder synthesizes monitor logic into a netlist.
 type Builder struct {
 	NL *netlist.Netlist

@@ -1,0 +1,226 @@
+// Package service is the assertd serving layer: a long-lived HTTP/JSON
+// front end over the core batch API — the first serving surface toward
+// the production-scale checker the ROADMAP aims at. A request carries a
+// design (Verilog source + top module) and a property list (named
+// one-bit signals); the response is the exact input-ordered record
+// array `assertcheck -json` prints, byte-for-byte, so CLI consumers
+// and service consumers share one schema.
+//
+// Designs are compiled once and cached by content hash across
+// requests: the first request for a design pays parse → elaborate →
+// design compilation, every later request (any property set, any
+// engine) goes straight to session setup, and the Design's per-engine
+// caches (BMC frame template, BDD model snapshot, ATPG prep) are
+// likewise shared across all concurrent requests. Compilation is
+// singleflighted per hash — concurrent first requests block on one
+// build rather than duplicating it.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bmc"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/property"
+)
+
+// Options tunes the server.
+type Options struct {
+	// MaxJobs caps the per-request worker-pool size (0 = 8). A request
+	// asking for more jobs is clamped, not rejected.
+	MaxJobs int
+	// MaxBodyBytes caps the request body (0 = 4 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxJobs == 0 {
+		o.MaxJobs = 8
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 4 << 20
+	}
+	return o
+}
+
+// CheckRequest is the POST /v1/check body.
+type CheckRequest struct {
+	// Design is the Verilog source text; Top names the top module.
+	Design string `json:"design"`
+	Top    string `json:"top"`
+	// Invariants and Witnesses name one-bit signals: invariants must
+	// always be 1, witnesses ask for a trace driving the signal to 1.
+	// Results come back in input order, invariants first.
+	Invariants []string `json:"invariants,omitempty"`
+	Witnesses  []string `json:"witnesses,omitempty"`
+	// Depth bounds the time frames (0 = 16).
+	Depth int `json:"depth,omitempty"`
+	// Engine selects atpg (default), bmc, bdd or portfolio.
+	Engine string `json:"engine,omitempty"`
+	// Jobs is the worker-pool size for the batch (0 = 1; clamped to
+	// the server's MaxJobs).
+	Jobs int `json:"jobs,omitempty"`
+	// NoInduction disables the k-induction upgrade (on by default, as
+	// in the CLI).
+	NoInduction bool `json:"no_induction,omitempty"`
+}
+
+// Server serves check requests over cached compiled designs. Safe for
+// concurrent use; construct with New.
+type Server struct {
+	opts Options
+
+	mu      sync.Mutex
+	designs map[string]*designEntry
+}
+
+// designEntry singleflights one design compilation and caches the
+// result forever (the cache key is a content hash, so entries never go
+// stale). done flips only after the build finishes, so concurrent
+// first requests that block on the singleflight are reported as
+// misses, not hits.
+type designEntry struct {
+	once sync.Once
+	done atomic.Bool
+	d    *core.Design
+	err  error
+}
+
+// New returns a server with an empty design cache.
+func New(opts Options) *Server {
+	return &Server{opts: opts.withDefaults(), designs: map[string]*designEntry{}}
+}
+
+// design returns the compiled design for a source, compiling it at
+// most once per content hash; hit reports whether a *finished* compile
+// was already cached when the request arrived (for the X-Design-Cache
+// response header and the serve-smoke CI check) — a request that
+// blocks on another request's in-flight build is a miss.
+func (s *Server) design(src, top string) (d *core.Design, hit bool, err error) {
+	key := core.Fingerprint(src, top)
+	s.mu.Lock()
+	e, ok := s.designs[key]
+	if !ok {
+		e = &designEntry{}
+		s.designs[key] = e
+	}
+	s.mu.Unlock()
+	hit = ok && e.done.Load()
+	e.once.Do(func() {
+		e.d, e.err = core.CompileVerilog(src, top)
+		e.done.Store(true)
+	})
+	return e.d, hit, e.err
+}
+
+// CachedDesigns returns the number of cached compiled designs.
+func (s *Server) CachedDesigns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.designs)
+}
+
+// Handler returns the HTTP handler: POST /v1/check, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", s.handleCheck)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"designs\":%d}\n", s.CachedDesigns())
+	})
+	return mux
+}
+
+// httpError sends a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req CheckRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Design == "" || req.Top == "" {
+		httpError(w, http.StatusBadRequest, "design and top are required")
+		return
+	}
+	if len(req.Invariants)+len(req.Witnesses) == 0 {
+		httpError(w, http.StatusBadRequest, "need at least one invariant or witness")
+		return
+	}
+	d, hit, err := s.design(req.Design, req.Top)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+	props, err := property.FromNames(d.Netlist(), req.Invariants, req.Witnesses)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := core.Options{MaxDepth: req.Depth, UseInduction: !req.NoInduction}
+	engineName := req.Engine
+	if engineName == "" {
+		engineName = core.EngineATPG
+	}
+	if engineName == core.EngineBMC || engineName == core.EngineBDD {
+		// Baseline engines never read the ATPG-side session state.
+		opts.DisableLocalFSM = true
+		opts.DisableLearnedStore = true
+	}
+	sess, err := d.NewSession(opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "session: %v", err)
+		return
+	}
+	var eng core.Engine
+	switch engineName {
+	case core.EngineATPG:
+		eng = nil // CheckAll's default: the session's ATPG path
+	case core.EngineBMC:
+		eng = sess.BMCEngine(bmc.Options{})
+	case core.EngineBDD:
+		eng = sess.BDDEngine(mc.Options{})
+	case core.EnginePortfolio:
+		eng = sess.Portfolio()
+	default:
+		httpError(w, http.StatusBadRequest, "unknown engine %q", req.Engine)
+		return
+	}
+	jobs := req.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	if jobs > s.opts.MaxJobs {
+		jobs = s.opts.MaxJobs
+	}
+	// The request context cancels the whole batch when the client goes
+	// away — in-flight engines observe it through their ctx plumbing.
+	results := sess.CheckAll(r.Context(), props, core.BatchOptions{Jobs: jobs, Engine: eng})
+
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Design-Cache", "hit")
+	} else {
+		w.Header().Set("X-Design-Cache", "miss")
+	}
+	if err := core.EncodeRecords(w, results); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		return
+	}
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/property"
+)
+
+// testSrc is a small sequential design with RTL-level monitor outputs
+// (the service states properties over named one-bit signals).
+const testSrc = `
+module cnt3(clk, en, q, ok, hit5);
+  input clk, en;
+  output [2:0] q;
+  output ok, hit5;
+  reg [2:0] q;
+  assign ok = ~(q == 3'd7);
+  assign hit5 = (q == 3'd5);
+  always @(posedge clk) begin
+    if (en) begin
+      if (q == 3'd5) q <= 3'd0;
+      else q <= q + 3'd1;
+    end
+  end
+  initial q = 3'd0;
+endmodule
+`
+
+func postCheck(t *testing.T, ts *httptest.Server, req CheckRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestServeCheckMatchesCLIRecords pins the serving contract: the
+// response body is the exact record array the CLI's -json path
+// produces for the same design, properties and batch options —
+// byte-equivalent up to the nondeterministic elapsed_ns field.
+func TestServeCheckMatchesCLIRecords(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	req := CheckRequest{
+		Design:     testSrc,
+		Top:        "cnt3",
+		Invariants: []string{"ok"},
+		Witnesses:  []string{"hit5"},
+		Depth:      8,
+		Jobs:       8,
+	}
+	resp, body := postCheck(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Design-Cache"); got != "miss" {
+		t.Errorf("first request X-Design-Cache = %q, want miss", got)
+	}
+
+	// The same batch through the core API, rendered by the same
+	// encoder the CLI uses.
+	d, err := core.CompileVerilog(testSrc, "cnt3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := property.FromNames(d.Netlist(), []string{"ok"}, []string{"hit5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := d.NewSession(core.Options{MaxDepth: 8, UseInduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := sess.CheckAll(context.Background(), props, core.BatchOptions{Jobs: 8})
+	var want bytes.Buffer
+	if err := core.EncodeRecords(&want, results); err != nil {
+		t.Fatal(err)
+	}
+	if normalizeElapsed(t, string(body)) != normalizeElapsed(t, want.String()) {
+		t.Errorf("served records differ from CLI records:\nserved: %s\ncli:    %s", body, want.String())
+	}
+}
+
+// normalizeElapsed zeroes the elapsed_ns field — the only
+// run-nondeterministic part of a record — keeping everything else
+// byte-exact.
+func normalizeElapsed(t *testing.T, s string) string {
+	t.Helper()
+	var recs []core.JSONRecord
+	if err := json.Unmarshal([]byte(s), &recs); err != nil {
+		t.Fatalf("bad records %q: %v", s, err)
+	}
+	for i := range recs {
+		recs[i].ElapsedNs = 0
+	}
+	out, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestServeDesignCacheHit pins the content-hash cache: the second
+// request for the same source compiles nothing and reports a hit, a
+// different source misses, and concurrent first requests singleflight
+// into one compiled design.
+func TestServeDesignCacheHit(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := CheckRequest{Design: testSrc, Top: "cnt3", Invariants: []string{"ok"}, Depth: 4}
+	resp1, body1 := postCheck(t, ts, req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	resp2, body2 := postCheck(t, ts, req)
+	if got := resp2.Header.Get("X-Design-Cache"); got != "hit" {
+		t.Errorf("second request X-Design-Cache = %q, want hit", got)
+	}
+	if normalizeElapsed(t, string(body1)) != normalizeElapsed(t, string(body2)) {
+		t.Errorf("cache hit changed the records:\nfirst:  %s\nsecond: %s", body1, body2)
+	}
+	if n := srv.CachedDesigns(); n != 1 {
+		t.Errorf("cached designs = %d, want 1", n)
+	}
+
+	// Different engine, same design: still a hit.
+	req.Engine = "bmc"
+	respB, bodyB := postCheck(t, ts, req)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("bmc status %d: %s", respB.StatusCode, bodyB)
+	}
+	if got := respB.Header.Get("X-Design-Cache"); got != "hit" {
+		t.Errorf("engine switch X-Design-Cache = %q, want hit", got)
+	}
+
+	// Concurrent requests for a new design singleflight the compile.
+	src2 := strings.Replace(testSrc, "cnt3", "cnt3b", 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postCheck(t, ts, CheckRequest{Design: src2, Top: "cnt3b", Invariants: []string{"ok"}, Depth: 4})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent status %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := srv.CachedDesigns(); n != 2 {
+		t.Errorf("cached designs = %d, want 2", n)
+	}
+}
+
+// TestServeBadRequests pins the error surface: malformed JSON, missing
+// fields, unknown signals, unknown engines and broken Verilog all
+// produce a 4xx JSON error, never a 5xx or a hang.
+func TestServeBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"design":`},
+		{"unknown-field", `{"designs": "x"}`},
+		{"missing-design", `{"top": "m", "invariants": ["a"]}`},
+		{"no-props", mustReq(t, CheckRequest{Design: testSrc, Top: "cnt3"})},
+		{"bad-signal", mustReq(t, CheckRequest{Design: testSrc, Top: "cnt3", Invariants: []string{"nope"}})},
+		{"bad-engine", mustReq(t, CheckRequest{Design: testSrc, Top: "cnt3", Invariants: []string{"ok"}, Engine: "z3"})},
+		{"bad-verilog", mustReq(t, CheckRequest{Design: "module; endmodule", Top: "m", Invariants: []string{"a"}})},
+		{"wide-signal", mustReq(t, CheckRequest{Design: testSrc, Top: "cnt3", Invariants: []string{"q"}})},
+	}
+	for _, tc := range cases {
+		if resp := post(tc.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// GET on the check endpoint is not allowed.
+	resp, err := http.Get(ts.URL + "/v1/check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/check: status %d, want 405", resp.StatusCode)
+	}
+	// Health endpoint answers.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", resp.StatusCode)
+	}
+}
+
+func mustReq(t *testing.T, req CheckRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,29 @@
+// Serve-smoke design: a token ring with its correctness monitors
+// computed in RTL, so the same properties are addressable by signal
+// name from both front ends (assertcheck -invariant/-witness and the
+// assertd JSON API). tok_onehot and quiet_ok are invariants (provable
+// by induction), g5 is a witness target reachable after the token
+// travels five hops.
+module smoke(clk, req, hold, grant, token, tok_onehot, g5, quiet_ok);
+  input clk;
+  input [7:0] req;
+  input [7:0] hold;
+  output [7:0] grant;
+  output [7:0] token;
+  output tok_onehot;
+  output g5;
+  output quiet_ok;
+  reg [7:0] token;
+  wire advance;
+  wire [7:0] tm1;
+  assign grant = token & req;
+  assign advance = ~|(token & hold);
+  assign tm1 = token - 8'd1;
+  assign tok_onehot = (~|(token & tm1)) & (|token);
+  assign g5 = grant[5];
+  assign quiet_ok = ~(grant[0] & grant[1]);
+  always @(posedge clk) begin
+    if (advance) token <= {token[6:0], token[7]};
+  end
+  initial token = 8'd1;
+endmodule
