@@ -188,15 +188,20 @@ func selectEngine(c *core.Session, name string) (core.Engine, error) {
 }
 
 // exitCode folds per-property verdicts into the process exit status:
-// any falsification dominates, then any unknown, then success.
+// any falsification dominates, then any engine error, then any
+// unknown, then success.
 func exitCode(results []core.Result) int {
 	code := exitOK
 	for _, res := range results {
 		switch res.Verdict {
 		case core.VerdictFalsified, core.VerdictNoWitness:
 			return exitFalsified
+		case core.VerdictError:
+			code = exitError
 		case core.VerdictUnknown:
-			code = exitUnknown
+			if code == exitOK {
+				code = exitUnknown
+			}
 		}
 	}
 	return code

@@ -1,10 +1,14 @@
 // Command assertd is the long-lived serving front end of the assertion
 // checker: an HTTP/JSON API over the core batch machinery, with
-// compiled designs cached by content hash across requests.
+// compiled designs cached (LRU-bounded) by content hash across
+// requests, admission control in front of the check workers, and a
+// graceful SIGTERM drain.
 //
 // Usage:
 //
-//	assertd [-addr :8545] [-max-jobs N]
+//	assertd [-addr :8545] [-max-jobs N] [-max-concurrent N] [-max-queue N]
+//	        [-max-depth N] [-timeout D] [-max-timeout D] [-drain-timeout D]
+//	        [-cache-designs N] [-faults]
 //
 // Endpoints:
 //
@@ -12,21 +16,26 @@
 //	    Body: {"design": "<verilog source>", "top": "mod",
 //	           "invariants": ["a","b"], "witnesses": ["w"],
 //	           "depth": 16, "engine": "atpg|bmc|bdd|portfolio",
-//	           "jobs": 8}
+//	           "jobs": 8, "timeout_ms": 30000}
 //	    Response: the input-ordered per-property record array that
 //	    `assertcheck -json` prints — byte-identical schema, so the two
 //	    front ends are interchangeable. The X-Design-Cache response
 //	    header reports whether the design compile was served from the
 //	    content-hash cache ("hit") or performed ("miss").
+//	    Overload surfaces as 429 + Retry-After (admission queue full),
+//	    draining as 503 + Retry-After; an expired request budget
+//	    surfaces as unknown-verdict records, mirroring
+//	    `assertcheck -timeout`.
 //
 //	GET /healthz
-//	    Liveness plus the design-cache size.
+//	    Liveness ("ok" or "draining") plus design-cache and admission
+//	    counters.
 //
-// The first request for a design pays the full front end (parse →
-// elaborate → design compilation); every later request for the same
-// source — any property set, any engine — starts at session setup,
-// and the per-engine compiled caches (BMC frame template, BDD model
-// snapshot, ATPG prep tables) are shared across concurrent requests.
+// On SIGTERM/SIGINT the server stops admitting work (503), drains
+// in-flight batches for up to -drain-timeout, then exits.
+//
+// -faults enables the X-Fault-Inject request header (see
+// internal/faultinject) — degradation testing only.
 package main
 
 import (
@@ -45,12 +54,29 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8545", "listen address")
-		maxJobs = flag.Int("max-jobs", 8, "per-request worker-pool cap")
+		addr          = flag.String("addr", ":8545", "listen address")
+		maxJobs       = flag.Int("max-jobs", 8, "per-request worker-pool cap")
+		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent check requests (0 = GOMAXPROCS)")
+		maxQueue      = flag.Int("max-queue", 0, "admission queue depth (0 = 4x max-concurrent)")
+		maxDepth      = flag.Int("max-depth", 0, "per-request frame-bound cap (0 = 128)")
+		timeout       = flag.Duration("timeout", 0, "default per-request budget (0 = none); expired checks report unknown, mirroring assertcheck -timeout")
+		maxTimeout    = flag.Duration("max-timeout", 0, "ceiling on per-request timeout overrides (0 = none)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "how long to drain in-flight work on SIGTERM before exiting")
+		cacheDesigns  = flag.Int("cache-designs", 0, "compiled-design cache entries (0 = 64, negative = unbounded)")
+		faults        = flag.Bool("faults", false, "enable the X-Fault-Inject header (degradation testing only)")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Options{MaxJobs: *maxJobs})
+	srv := service.New(service.Options{
+		MaxJobs:            *maxJobs,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueue:           *maxQueue,
+		MaxDepth:           *maxDepth,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		DesignCacheEntries: *cacheDesigns,
+		EnableFaults:       *faults,
+	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -65,9 +91,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "assertd:", err)
 			os.Exit(1)
 		}
-	case <-sig:
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	case s := <-sig:
+		// Graceful drain: refuse new work (the service answers 503),
+		// let in-flight batches finish under the drain budget, then
+		// force-close whatever is left.
+		fmt.Fprintf(os.Stderr, "assertd: %v — draining (timeout %v)\n", s, *drainTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		_ = hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "assertd: drain expired, closing: %v\n", err)
+			_ = hs.Close()
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "assertd: drained")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -66,7 +67,7 @@ func (c *Session) CheckAll(ctx context.Context, props []property.Property, opts 
 					}
 					continue
 				}
-				results[i] = eng.Check(ctx, Problem{
+				results[i] = safeCheck(eng, ctx, Problem{
 					NL: c.nl, Prop: props[i], MaxDepth: c.opts.MaxDepth,
 				})
 			}
@@ -78,4 +79,23 @@ func (c *Session) CheckAll(ctx context.Context, props []property.Property, opts 
 	close(next)
 	wg.Wait()
 	return results
+}
+
+// safeCheck runs one engine check with panic isolation: a panicking
+// engine run — a poisoned property, a bug tripped by one design —
+// degrades to an attributed VerdictError record instead of unwinding
+// the worker goroutine and killing the process. Shared by the CheckAll
+// worker pool and the portfolio's member goroutines.
+func safeCheck(eng Engine, ctx context.Context, prob Problem) (res EngineResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = EngineResult{
+				Property: prob.Prop.Name,
+				Verdict:  VerdictError,
+				Engine:   eng.Name(),
+				Err:      fmt.Sprintf("panic: %v", r),
+			}
+		}
+	}()
+	return eng.Check(ctx, prob)
 }

@@ -47,10 +47,16 @@ const (
 	VerdictNoWitness
 	// VerdictUnknown: resource limits hit before a conclusion.
 	VerdictUnknown
+	// VerdictError: the engine run failed outright (a recovered panic
+	// or an internal error) — the result's Err carries the cause. An
+	// error says nothing about the property; it exists so one poisoned
+	// run degrades to an attributed record instead of taking down a
+	// batch or the process.
+	VerdictError
 )
 
 var verdictNames = [...]string{
-	"proved", "proved-bounded", "falsified", "witness-found", "no-witness", "unknown",
+	"proved", "proved-bounded", "falsified", "witness-found", "no-witness", "unknown", "error",
 }
 
 func (v Verdict) String() string {
@@ -150,4 +156,7 @@ type Result struct {
 	// is for the implication core.
 	AllocsPerDecision float64
 	Validated         bool
+	// Err is the failure cause when Verdict is VerdictError (a
+	// recovered engine panic, an injected fault); empty otherwise.
+	Err string
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/elab"
 	"repro/internal/fsm"
+	"repro/internal/lru"
 	"repro/internal/mc"
 	"repro/internal/netlist"
 	"repro/internal/verilog"
@@ -254,17 +255,27 @@ type designEntry struct {
 	err  error
 }
 
-// designCache memoizes DesignFor per netlist build state.
-var designCache sync.Map // designKey -> *designEntry
+// DefaultDesignCacheCap bounds the process-wide design cache. The
+// cache keys on live netlist pointers, so before the bound existed it
+// pinned every netlist a process ever compiled — in a long-lived
+// server that is an unbounded leak. Eviction only costs a recompile on
+// the next DesignFor for that netlist; correctness never depends on
+// residency.
+const DefaultDesignCacheCap = 128
+
+// designCache memoizes DesignFor per netlist build state, LRU-bounded.
+// Entries singleflight their build through a sync.Once, so concurrent
+// first callers share one compilation while the entry is resident.
+var designCache = lru.New[designKey, *designEntry](DefaultDesignCacheCap)
 
 // DesignFor returns the (process-wide cached) compiled design of a
 // netlist: repeated calls — every batch worker, every sibling checker,
 // every portfolio member — share one Design, so elaboration-derived
-// analyses run exactly once per netlist build state.
+// analyses run exactly once per netlist build state (while the entry
+// stays resident; see DefaultDesignCacheCap).
 func DesignFor(nl *netlist.Netlist) (*Design, error) {
 	key := designKey{nl, nl.NumGates()}
-	v, _ := designCache.LoadOrStore(key, &designEntry{})
-	e := v.(*designEntry)
+	e, _ := designCache.GetOrAdd(key, func() *designEntry { return &designEntry{} })
 	e.once.Do(func() {
 		e.d, e.err = NewDesign(nl)
 	})
@@ -273,3 +284,12 @@ func DesignFor(nl *netlist.Netlist) (*Design, error) {
 	}
 	return e.d, nil
 }
+
+// DesignCacheStats snapshots the process-wide design cache counters
+// (hits, misses, evictions, residency) for serving-path observability.
+func DesignCacheStats() lru.Stats { return designCache.Stats() }
+
+// SetDesignCacheCap rebounds the process-wide design cache (<= 0 for
+// unbounded), evicting down to the new bound, and returns the previous
+// cap — an ops tuning knob for servers holding many designs.
+func SetDesignCacheCap(n int) int { return designCache.SetCap(n) }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/bmc"
 	"repro/internal/bv"
+	"repro/internal/faultinject"
 	"repro/internal/mc"
 	"repro/internal/netlist"
 	"repro/internal/property"
@@ -109,7 +110,23 @@ func (c *Session) ATPGEngine() Engine { return &checkerEngine{c} }
 
 func (e *checkerEngine) Name() string { return EngineATPG }
 
+// engineFault fires a named fault point at the head of an engine's
+// check loop. Inactive injection costs one atomic load; an armed
+// error-mode rule produces the attributed error record the degrade
+// suite asserts on (panic mode unwinds into safeCheck's recover, and
+// hang/sleep modes return nil so the engine's own ctx handling runs).
+func engineFault(ctx context.Context, point, engine string, prob Problem) (EngineResult, bool) {
+	if err := faultinject.Fire(ctx, point); err != nil {
+		return Result{Property: prob.Prop.Name, Verdict: VerdictError,
+			Engine: engine, Err: err.Error()}, true
+	}
+	return Result{}, false
+}
+
 func (e *checkerEngine) Check(ctx context.Context, prob Problem) EngineResult {
+	if res, fired := engineFault(ctx, faultinject.PointEngineATPG, EngineATPG, prob); fired {
+		return res
+	}
 	c := e.c
 	if prob.NL != c.nl || (prob.MaxDepth != 0 && prob.MaxDepth != c.opts.MaxDepth) {
 		// A problem over a different design (or bound): open a sibling
@@ -245,6 +262,9 @@ type sessionBMCEngine struct {
 func (e *sessionBMCEngine) Name() string { return EngineBMC }
 
 func (e *sessionBMCEngine) Check(ctx context.Context, prob Problem) EngineResult {
+	if res, fired := engineFault(ctx, faultinject.PointEngineBMC, EngineBMC, prob); fired {
+		return res
+	}
 	opts := e.opts
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = prob.depth()
@@ -337,6 +357,9 @@ type sessionBDDEngine struct {
 func (e *sessionBDDEngine) Name() string { return EngineBDD }
 
 func (e *sessionBDDEngine) Check(ctx context.Context, prob Problem) EngineResult {
+	if res, fired := engineFault(ctx, faultinject.PointEngineBDD, EngineBDD, prob); fired {
+		return res
+	}
 	start := time.Now()
 	if prob.NL != e.c.nl {
 		return bddResult(prob, mc.CheckCtx(ctx, prob.NL, prob.Prop, e.opts), time.Since(start))

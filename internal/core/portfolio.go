@@ -43,15 +43,18 @@ func NewPortfolio(engines ...Engine) *Portfolio {
 func (p *Portfolio) Name() string { return EnginePortfolio }
 
 // verdictStrength ranks verdicts for winner selection: conclusive
-// results beat bounded ones beat unknowns.
+// results beat bounded ones beat unknowns beat errors (an engine that
+// crashed must not outrank one that merely ran out of budget).
 func verdictStrength(v Verdict) int {
 	switch {
 	case v.Conclusive():
-		return 2
+		return 3
 	case v == VerdictProvedBounded || v == VerdictNoWitness:
-		return 1
-	default:
+		return 2
+	case v == VerdictError:
 		return 0
+	default:
+		return 1
 	}
 }
 
@@ -59,7 +62,7 @@ func verdictStrength(v Verdict) int {
 // result with its engine attribution intact.
 func (p *Portfolio) Check(ctx context.Context, prob Problem) EngineResult {
 	if len(p.members) == 1 {
-		return p.members[0].Check(ctx, prob)
+		return safeCheck(p.members[0], ctx, prob)
 	}
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -67,7 +70,10 @@ func (p *Portfolio) Check(ctx context.Context, prob Problem) EngineResult {
 	done := make(chan int, len(p.members))
 	for i, eng := range p.members {
 		go func(i int, eng Engine) {
-			results[i] = eng.Check(raceCtx, prob)
+			// safeCheck converts a member panic into an error record: a
+			// panic here would otherwise escape the goroutine and kill
+			// the process, and the race must still drain every member.
+			results[i] = safeCheck(eng, raceCtx, prob)
 			done <- i
 		}(i, eng)
 	}

@@ -23,6 +23,10 @@ type JSONRecord struct {
 	MemUnits     int64  `json:"mem_units"`
 	AllocBytes   uint64 `json:"alloc_bytes,omitempty"`
 	Validated    bool   `json:"validated"`
+	// Error carries the failure cause for verdict "error" records; it
+	// is omitted on every other verdict, so the happy-path bytes are
+	// unchanged from before the field existed.
+	Error string `json:"error,omitempty"`
 }
 
 // RecordFromResult flattens a Result into its wire record.
@@ -39,6 +43,7 @@ func RecordFromResult(res Result) JSONRecord {
 		MemUnits:     res.Metrics.MemUnits,
 		AllocBytes:   res.AllocBytes,
 		Validated:    res.Validated,
+		Error:        res.Err,
 	}
 }
 

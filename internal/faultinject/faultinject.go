@@ -1,0 +1,210 @@
+// Package faultinject provides named failure points for the serving
+// stack's degradation tests: compile, session setup, each engine's
+// check loop and response encoding can be made to fail (error, panic,
+// hang-until-cancel or sleep) on demand, so the test suite and the CI
+// degrade-smoke job can prove every failure surfaces as a structured
+// error — an attributed error record, a 4xx/5xx body or an
+// unknown-verdict record — never a crash, hang or goroutine leak.
+//
+// Injection is off by default and costs one atomic load per Fire call
+// until Activate is called (assertd's -faults flag, or a test). Once
+// active, a Fire consults the request-scoped Set carried in the
+// context (WithSet — the service builds one from the X-Fault-Inject
+// header) and then the optional process-global Set (SetGlobal). A
+// point with no armed rule fires nothing.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The named failure points the serving path exposes, in request order.
+const (
+	PointCompile    = "compile"     // design front end (parse/elaborate/compile)
+	PointSession    = "session"     // session setup over a compiled design
+	PointEngineATPG = "engine.atpg" // ATPG engine check loop
+	PointEngineBMC  = "engine.bmc"  // SAT-BMC engine check loop
+	PointEngineBDD  = "engine.bdd"  // BDD engine check loop
+	PointEncode     = "encode"      // response record encoding
+)
+
+// Points lists every named failure point (the degrade test matrix).
+var Points = []string{
+	PointCompile, PointSession,
+	PointEngineATPG, PointEngineBMC, PointEngineBDD,
+	PointEncode,
+}
+
+// Mode is what an armed point does when fired.
+type Mode uint8
+
+const (
+	// ModeError makes Fire return an injected error.
+	ModeError Mode = iota
+	// ModePanic makes Fire panic (exercising recover paths).
+	ModePanic
+	// ModeHang blocks Fire until the context is cancelled, then
+	// returns nil — the check proceeds and observes the expired
+	// context itself (deadline expiry → unknown verdicts).
+	ModeHang
+	// ModeSleep blocks Fire for the rule's duration (or until the
+	// context is cancelled), then returns nil — simulated slowness.
+	ModeSleep
+)
+
+type rule struct {
+	mode Mode
+	d    time.Duration
+}
+
+// Set maps failure points to armed rules. A Set is immutable after
+// Parse and safe to share across goroutines.
+type Set struct {
+	rules map[string]rule
+}
+
+// Parse builds a Set from a spec like
+//
+//	"engine.atpg=panic,compile=error,engine.bmc=sleep:50ms"
+//
+// Grammar: comma-separated point=mode items; mode is one of error,
+// panic, hang, sleep:DURATION. Unknown points and modes are errors so
+// a typo in a test or an ops command fails loudly.
+func Parse(spec string) (*Set, error) {
+	s := &Set{rules: map[string]rule{}}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		point, modeStr, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: %q is not point=mode", item)
+		}
+		if !knownPoint(point) {
+			return nil, fmt.Errorf("faultinject: unknown point %q (have %s)",
+				point, strings.Join(Points, ", "))
+		}
+		var r rule
+		modeName, arg, _ := strings.Cut(modeStr, ":")
+		switch modeName {
+		case "error":
+			r.mode = ModeError
+		case "panic":
+			r.mode = ModePanic
+		case "hang":
+			r.mode = ModeHang
+		case "sleep":
+			r.mode = ModeSleep
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: sleep duration %q: %v", arg, err)
+			}
+			r.d = d
+		default:
+			return nil, fmt.Errorf("faultinject: unknown mode %q (error|panic|hang|sleep:D)", modeStr)
+		}
+		s.rules[point] = r
+	}
+	return s, nil
+}
+
+func knownPoint(p string) bool {
+	for _, q := range Points {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// active gates the whole package: Fire is a single atomic load when
+// injection was never activated, so production paths pay nothing.
+var active atomic.Bool
+
+// globalSet is the process-wide armed set (assertd -faults-spec or a
+// test); request-scoped sets take precedence per point.
+var globalSet atomic.Pointer[Set]
+
+// Activate enables fault injection process-wide (the rules still come
+// from contexts or SetGlobal). It is a one-way switch per process —
+// tests share it safely because rules are context-scoped.
+func Activate() { active.Store(true) }
+
+// Active reports whether injection has been activated.
+func Active() bool { return active.Load() }
+
+// SetGlobal arms a process-wide rule set (nil disarms) and activates
+// injection when non-nil.
+func SetGlobal(s *Set) {
+	globalSet.Store(s)
+	if s != nil {
+		active.Store(true)
+	}
+}
+
+type ctxKey struct{}
+
+// WithSet attaches a request-scoped rule set to the context.
+func WithSet(ctx context.Context, s *Set) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// InjectedError is the error type Fire returns in ModeError, carrying
+// the point name for attribution.
+type InjectedError struct{ Point string }
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("injected fault at %s", e.Point)
+}
+
+// Fire triggers the named point: it returns nil instantly when
+// injection is inactive or the point is unarmed; otherwise it applies
+// the armed rule (error / panic / hang / sleep). Hang and sleep honor
+// ctx cancellation and return nil so the caller's own cancellation
+// handling runs.
+func Fire(ctx context.Context, point string) error {
+	if !active.Load() {
+		return nil
+	}
+	r, ok := lookup(ctx, point)
+	if !ok {
+		return nil
+	}
+	switch r.mode {
+	case ModeError:
+		return &InjectedError{Point: point}
+	case ModePanic:
+		panic(fmt.Sprintf("injected panic at %s", point))
+	case ModeHang:
+		<-ctx.Done()
+		return nil
+	case ModeSleep:
+		t := time.NewTimer(r.d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	return nil
+}
+
+func lookup(ctx context.Context, point string) (rule, bool) {
+	if s, _ := ctx.Value(ctxKey{}).(*Set); s != nil {
+		if r, ok := s.rules[point]; ok {
+			return r, true
+		}
+	}
+	if s := globalSet.Load(); s != nil {
+		if r, ok := s.rules[point]; ok {
+			return r, true
+		}
+	}
+	return rule{}, false
+}

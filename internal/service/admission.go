@@ -1,0 +1,77 @@
+// Admission control for the serving path: a fixed number of
+// concurrency slots with a bounded waiting room in front. A request
+// either takes a slot immediately, waits in the queue until a slot
+// frees (or its deadline expires), or — when the queue is full — is
+// rejected instantly with an overload error the handler turns into a
+// 429 + Retry-After. Bounding both dimensions is what keeps an
+// overloaded server's memory and goroutine count flat: excess load is
+// shed at the door instead of accumulating behind it.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is returned when the waiting room is full — the
+// request should be retried later (HTTP 429).
+var errOverloaded = errors.New("service: overloaded, queue full")
+
+// limiter is a concurrency semaphore with a bounded waiting room.
+type limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Int64
+}
+
+func newLimiter(concurrent, queue int) *limiter {
+	return &limiter{
+		slots:    make(chan struct{}, concurrent),
+		maxQueue: int64(queue),
+	}
+}
+
+// acquire takes a slot, waiting in the bounded queue if none is free.
+// It returns errOverloaded when the queue is full, or ctx.Err() when
+// the context expires while queued. On nil return the caller must
+// release().
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.inflight.Add(1)
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.rejected.Add(1)
+		return errOverloaded
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		l.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		l.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() {
+	l.inflight.Add(-1)
+	<-l.slots
+}
+
+// InFlight returns the number of requests currently holding a slot.
+func (l *limiter) InFlight() int { return int(l.inflight.Load()) }
+
+// Queued returns the number of requests waiting for a slot.
+func (l *limiter) Queued() int { return int(l.queued.Load()) }
+
+// Rejected returns the number of requests shed (queue full or expired
+// while queued).
+func (l *limiter) Rejected() int64 { return l.rejected.Load() }

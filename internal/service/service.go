@@ -13,18 +13,39 @@
 // caches (BMC frame template, BDD model snapshot, ATPG prep) are
 // likewise shared across all concurrent requests. Compilation is
 // singleflighted per hash — concurrent first requests block on one
-// build rather than duplicating it.
+// build rather than duplicating it. The cache is LRU-bounded
+// (Options.DesignCacheEntries) so a server fed unbounded distinct
+// designs stays flat; evicted designs recompile on re-request.
+//
+// The serving path degrades instead of falling over: admission control
+// bounds concurrent checks and the waiting room in front of them
+// (excess load is shed with 429 + Retry-After), every request runs
+// under a deadline (server default + per-request override) whose
+// expiry surfaces as unknown-verdict records rather than a dropped
+// connection, engine panics degrade to attributed error records
+// (core's batch isolation), and a draining server answers 503 while
+// in-flight work completes. The internal/faultinject points (compile,
+// session, each engine, encode) let the degradation suite and the CI
+// degrade-smoke job prove all of this end to end.
 package service
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bmc"
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/lru"
 	"repro/internal/mc"
 	"repro/internal/property"
 )
@@ -36,6 +57,33 @@ type Options struct {
 	MaxJobs int
 	// MaxBodyBytes caps the request body (0 = 4 MiB).
 	MaxBodyBytes int64
+	// MaxConcurrent caps how many check requests run at once
+	// (0 = GOMAXPROCS). Requests beyond it wait in the admission queue.
+	MaxConcurrent int
+	// MaxQueue bounds the admission waiting room (0 = 4×MaxConcurrent).
+	// A request arriving to a full queue is shed with 429 + Retry-After.
+	MaxQueue int
+	// MaxDepth caps the per-request frame bound (0 = 128). Absurd
+	// depths are rejected with a 400 — depth drives memory and time
+	// superlinearly, so it is the easiest way to poison a worker.
+	MaxDepth int
+	// DefaultTimeout bounds each request's whole check when the request
+	// does not override it (0 = no default). Expiry surfaces as the
+	// engines' unknown-verdict records, not a dropped connection.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request timeout overrides — and, when set,
+	// also bounds requests that asked for no timeout at all (0 = no
+	// clamp).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 responses (0 = 1s).
+	RetryAfter time.Duration
+	// DesignCacheEntries bounds the compiled-design cache (0 = 64,
+	// < 0 = unbounded).
+	DesignCacheEntries int
+	// EnableFaults turns on the X-Fault-Inject request header (parsed
+	// into request-scoped internal/faultinject rules). For degradation
+	// testing only — never enable it on a production server.
+	EnableFaults bool
 }
 
 func (o Options) withDefaults() Options {
@@ -44,6 +92,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes == 0 {
 		o.MaxBodyBytes = 4 << 20
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 4 * o.MaxConcurrent
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 128
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.DesignCacheEntries == 0 {
+		o.DesignCacheEntries = 64
 	}
 	return o
 }
@@ -58,32 +121,39 @@ type CheckRequest struct {
 	// Results come back in input order, invariants first.
 	Invariants []string `json:"invariants,omitempty"`
 	Witnesses  []string `json:"witnesses,omitempty"`
-	// Depth bounds the time frames (0 = 16).
+	// Depth bounds the time frames (0 = 16; capped by the server's
+	// MaxDepth, negative or over-cap values are rejected).
 	Depth int `json:"depth,omitempty"`
 	// Engine selects atpg (default), bmc, bdd or portfolio.
 	Engine string `json:"engine,omitempty"`
 	// Jobs is the worker-pool size for the batch (0 = 1; clamped to
-	// the server's MaxJobs).
+	// the server's MaxJobs; negative values are rejected).
 	Jobs int `json:"jobs,omitempty"`
 	// NoInduction disables the k-induction upgrade (on by default, as
 	// in the CLI).
 	NoInduction bool `json:"no_induction,omitempty"`
+	// TimeoutMs overrides the server's default request timeout in
+	// milliseconds (0 = server default; clamped to the server's
+	// MaxTimeout; negative values are rejected). Expired checks report
+	// verdict "unknown" in their records, exactly like `assertcheck
+	// -timeout`.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // Server serves check requests over cached compiled designs. Safe for
 // concurrent use; construct with New.
 type Server struct {
-	opts Options
-
-	mu      sync.Mutex
-	designs map[string]*designEntry
+	opts     Options
+	designs  *lru.Cache[string, *designEntry]
+	adm      *limiter
+	draining atomic.Bool
 }
 
 // designEntry singleflights one design compilation and caches the
-// result forever (the cache key is a content hash, so entries never go
-// stale). done flips only after the build finishes, so concurrent
-// first requests that block on the singleflight are reported as
-// misses, not hits.
+// result while resident (the cache key is a content hash, so entries
+// never go stale — only LRU eviction drops them). done flips only
+// after the build finishes, so concurrent first requests that block on
+// the singleflight are reported as misses, not hits.
 type designEntry struct {
 	once sync.Once
 	done atomic.Bool
@@ -93,24 +163,30 @@ type designEntry struct {
 
 // New returns a server with an empty design cache.
 func New(opts Options) *Server {
-	return &Server{opts: opts.withDefaults(), designs: map[string]*designEntry{}}
+	opts = opts.withDefaults()
+	if opts.EnableFaults {
+		faultinject.Activate()
+	}
+	cap := opts.DesignCacheEntries
+	if cap < 0 {
+		cap = 0 // lru: <=0 means unbounded
+	}
+	return &Server{
+		opts:    opts,
+		designs: lru.New[string, *designEntry](cap),
+		adm:     newLimiter(opts.MaxConcurrent, opts.MaxQueue),
+	}
 }
 
 // design returns the compiled design for a source, compiling it at
-// most once per content hash; hit reports whether a *finished* compile
-// was already cached when the request arrived (for the X-Design-Cache
-// response header and the serve-smoke CI check) — a request that
-// blocks on another request's in-flight build is a miss.
+// most once per resident content-hash entry; hit reports whether a
+// *finished* compile was already cached when the request arrived (for
+// the X-Design-Cache response header and the serve-smoke CI check) — a
+// request that blocks on another request's in-flight build is a miss.
 func (s *Server) design(src, top string) (d *core.Design, hit bool, err error) {
 	key := core.Fingerprint(src, top)
-	s.mu.Lock()
-	e, ok := s.designs[key]
-	if !ok {
-		e = &designEntry{}
-		s.designs[key] = e
-	}
-	s.mu.Unlock()
-	hit = ok && e.done.Load()
+	e, loaded := s.designs.GetOrAdd(key, func() *designEntry { return &designEntry{} })
+	hit = loaded && e.done.Load()
 	e.once.Do(func() {
 		e.d, e.err = core.CompileVerilog(src, top)
 		e.done.Store(true)
@@ -118,22 +194,84 @@ func (s *Server) design(src, top string) (d *core.Design, hit bool, err error) {
 	return e.d, hit, e.err
 }
 
-// CachedDesigns returns the number of cached compiled designs.
-func (s *Server) CachedDesigns() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.designs)
-}
+// CachedDesigns returns the number of resident compiled designs.
+func (s *Server) CachedDesigns() int { return s.designs.Len() }
+
+// DesignCacheStats snapshots the design cache counters.
+func (s *Server) DesignCacheStats() lru.Stats { return s.designs.Stats() }
+
+// InFlight returns how many check requests currently hold a slot.
+func (s *Server) InFlight() int { return s.adm.InFlight() }
+
+// Queued returns how many check requests are waiting for a slot.
+func (s *Server) Queued() int { return s.adm.Queued() }
+
+// Rejected returns how many check requests were shed by admission.
+func (s *Server) Rejected() int64 { return s.adm.Rejected() }
+
+// BeginDrain flips the server into draining: new check requests are
+// refused with 503 (queued and in-flight ones complete) and /healthz
+// reports "draining". It is one-way; callers follow it with
+// http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the HTTP handler: POST /v1/check, GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/check", s.handleCheck)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"designs\":%d}\n", s.CachedDesigns())
-	})
+	mux.HandleFunc("/v1/check", s.recovering(s.handleCheck))
+	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
+}
+
+// health is the /healthz body. The status and designs fields predate
+// the robustness layer; the rest observe admission and the bounded
+// caches.
+type health struct {
+	Status          string `json:"status"`
+	Designs         int    `json:"designs"`
+	DesignHits      int64  `json:"design_hits"`
+	DesignMisses    int64  `json:"design_misses"`
+	DesignEvictions int64  `json:"design_evictions"`
+	InFlight        int    `json:"in_flight"`
+	Queued          int    `json:"queued"`
+	Rejected        int64  `json:"rejected"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.designs.Stats()
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(health{
+		Status:          status,
+		Designs:         st.Len,
+		DesignHits:      st.Hits,
+		DesignMisses:    st.Misses,
+		DesignEvictions: st.Evictions,
+		InFlight:        s.InFlight(),
+		Queued:          s.Queued(),
+		Rejected:        s.Rejected(),
+	})
+}
+
+// recovering isolates handler panics (including injected ones at the
+// compile/session points in panic mode): the connection gets a 500
+// JSON error and the server keeps serving, instead of net/http killing
+// the connection with an empty reply.
+func (s *Server) recovering(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				httpError(w, http.StatusInternalServerError, "internal panic: %v", rec)
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // httpError sends a JSON error body with the given status.
@@ -141,6 +279,41 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// overloaded sends a structured overload response (429 while shedding,
+// 503 while draining) with the Retry-After hint.
+func (s *Server) overloaded(w http.ResponseWriter, status int, format string, args ...any) {
+	secs := int(s.opts.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, status, format, args...)
+}
+
+// validate bounds the request's numeric fields; it returns a non-empty
+// message on rejection.
+func (s *Server) validate(req *CheckRequest) string {
+	if req.Design == "" || req.Top == "" {
+		return "design and top are required"
+	}
+	if len(req.Invariants)+len(req.Witnesses) == 0 {
+		return "need at least one invariant or witness"
+	}
+	if req.Depth < 0 {
+		return fmt.Sprintf("depth %d is negative", req.Depth)
+	}
+	if req.Depth > s.opts.MaxDepth {
+		return fmt.Sprintf("depth %d exceeds the server cap %d", req.Depth, s.opts.MaxDepth)
+	}
+	if req.Jobs < 0 {
+		return fmt.Sprintf("jobs %d is negative", req.Jobs)
+	}
+	if req.TimeoutMs < 0 {
+		return fmt.Sprintf("timeout_ms %d is negative", req.TimeoutMs)
+	}
+	return ""
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -155,12 +328,59 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if req.Design == "" || req.Top == "" {
-		httpError(w, http.StatusBadRequest, "design and top are required")
+	if msg := s.validate(&req); msg != "" {
+		httpError(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
-	if len(req.Invariants)+len(req.Witnesses) == 0 {
-		httpError(w, http.StatusBadRequest, "need at least one invariant or witness")
+	if s.Draining() {
+		s.overloaded(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+		return
+	}
+
+	ctx := r.Context()
+	if s.opts.EnableFaults {
+		if spec := r.Header.Get("X-Fault-Inject"); spec != "" {
+			set, err := faultinject.Parse(spec)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			ctx = faultinject.WithSet(ctx, set)
+		}
+	}
+
+	// Per-request deadline: the request override wins over the server
+	// default, and MaxTimeout clamps both (including "no timeout
+	// requested" — a stuck client must not pin a worker forever when
+	// the operator set a ceiling).
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if s.opts.MaxTimeout > 0 && (timeout <= 0 || timeout > s.opts.MaxTimeout) {
+		timeout = s.opts.MaxTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Admission: take a slot or wait in the bounded queue. The wait is
+	// bounded by the request deadline, so a queued request cannot
+	// outlive its budget.
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.overloaded(w, http.StatusTooManyRequests, "overloaded: admission queue full")
+		} else {
+			s.overloaded(w, http.StatusTooManyRequests, "deadline expired while queued")
+		}
+		return
+	}
+	defer s.adm.release()
+
+	if err := faultinject.Fire(ctx, faultinject.PointCompile); err != nil {
+		httpError(w, http.StatusInternalServerError, "compile: %v", err)
 		return
 	}
 	d, hit, err := s.design(req.Design, req.Top)
@@ -182,6 +402,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		// Baseline engines never read the ATPG-side session state.
 		opts.DisableLocalFSM = true
 		opts.DisableLearnedStore = true
+	}
+	if err := faultinject.Fire(ctx, faultinject.PointSession); err != nil {
+		httpError(w, http.StatusInternalServerError, "session: %v", err)
+		return
 	}
 	sess, err := d.NewSession(opts)
 	if err != nil {
@@ -210,17 +434,27 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		jobs = s.opts.MaxJobs
 	}
 	// The request context cancels the whole batch when the client goes
-	// away — in-flight engines observe it through their ctx plumbing.
-	results := sess.CheckAll(r.Context(), props, core.BatchOptions{Jobs: jobs, Engine: eng})
+	// away or the deadline expires — in-flight engines observe it
+	// through their ctx plumbing and report unknown verdicts.
+	results := sess.CheckAll(ctx, props, core.BatchOptions{Jobs: jobs, Engine: eng})
 
+	// Encode to a buffer before touching headers: a mid-stream encode
+	// failure after WriteHeader(200) would silently truncate the body,
+	// which a consumer cannot tell apart from a complete response.
+	var buf bytes.Buffer
+	encErr := faultinject.Fire(ctx, faultinject.PointEncode)
+	if encErr == nil {
+		encErr = core.EncodeRecords(&buf, results)
+	}
+	if encErr != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", encErr)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if hit {
 		w.Header().Set("X-Design-Cache", "hit")
 	} else {
 		w.Header().Set("X-Design-Cache", "miss")
 	}
-	if err := core.EncodeRecords(w, results); err != nil {
-		// Headers are gone; nothing more to do than note it.
-		return
-	}
+	_, _ = w.Write(buf.Bytes())
 }

@@ -122,9 +122,11 @@ func normalizeElapsed(t *testing.T, s string) string {
 // TestServeDesignCacheHit pins the content-hash cache: the second
 // request for the same source compiles nothing and reports a hit, a
 // different source misses, and concurrent first requests singleflight
-// into one compiled design.
+// into one compiled design. Admission is sized above the concurrency
+// the test generates — this test pins the cache contract, not
+// shedding (TestServeOverloadSheds covers that).
 func TestServeDesignCacheHit(t *testing.T) {
-	srv := New(Options{})
+	srv := New(Options{MaxConcurrent: 8})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
