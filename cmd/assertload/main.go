@@ -1,0 +1,251 @@
+// Command assertload is a minimal closed-loop load generator for the
+// serving stack (assertd or assertrouter — same API): N workers POST
+// /v1/check batches back-to-back for a fixed duration and a latency /
+// throughput summary comes out as JSON.
+//
+// Usage:
+//
+//	assertload -url http://localhost:8545 -design d.v -top mod \
+//	           [-invariants a,b] [-witnesses w] [-depth 16] [-jobs 4] \
+//	           [-concurrency 8] [-duration 10s] [-vary N]
+//
+// -vary N spreads the load over N content-distinct variants of the
+// design (a tagged comment is appended to the source, changing the
+// content hash but not the semantics), exercising the server's design
+// cache and, through assertrouter, the consistent-hash ring the way a
+// mixed-design workload would.
+//
+// Flow control is honored, not fought: a 429/503 answer counts as a
+// shed and the worker sleeps the server's Retry-After hint before its
+// next request, so a saturated server sees the backoff the API asks
+// for. The summary reports served/shed/error counts, p50/p90/p99
+// latency of served requests, throughput and the design-cache hit
+// count.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type checkRequest struct {
+	Design     string   `json:"design"`
+	Top        string   `json:"top"`
+	Invariants []string `json:"invariants,omitempty"`
+	Witnesses  []string `json:"witnesses,omitempty"`
+	Depth      int      `json:"depth,omitempty"`
+	Jobs       int      `json:"jobs,omitempty"`
+}
+
+type summary struct {
+	Target        string  `json:"target"`
+	Concurrency   int     `json:"concurrency"`
+	DurationS     float64 `json:"duration_s"`
+	Variants      int     `json:"variants"`
+	Requests      int64   `json:"requests"`
+	Served        int64   `json:"served"`
+	Shed          int64   `json:"shed"`
+	Errors        int64   `json:"errors"`
+	CacheHits     int64   `json:"cache_hits"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+func main() {
+	var (
+		url           = flag.String("url", "http://localhost:8545", "serving endpoint (assertd or assertrouter)")
+		designPath    = flag.String("design", "", "Verilog design file (required)")
+		top           = flag.String("top", "", "top module name (required)")
+		invariants    = flag.String("invariants", "", "comma-separated invariant signal names")
+		witnesses     = flag.String("witnesses", "", "comma-separated witness signal names")
+		depth         = flag.Int("depth", 8, "frame bound per property")
+		jobs          = flag.Int("jobs", 4, "per-request worker-pool hint")
+		concurrency   = flag.Int("concurrency", 8, "concurrent closed-loop workers")
+		duration      = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		vary          = flag.Int("vary", 1, "spread load over N content-distinct design variants")
+		maxRetryAfter = flag.Duration("max-retry-after", 5*time.Second, "cap on honored Retry-After hints")
+	)
+	flag.Parse()
+
+	if *designPath == "" || *top == "" {
+		fmt.Fprintln(os.Stderr, "assertload: -design and -top are required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*designPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assertload:", err)
+		os.Exit(2)
+	}
+	inv := splitNames(*invariants)
+	wit := splitNames(*witnesses)
+	if len(inv)+len(wit) == 0 {
+		fmt.Fprintln(os.Stderr, "assertload: need at least one -invariants or -witnesses name")
+		os.Exit(2)
+	}
+	if *vary < 1 {
+		*vary = 1
+	}
+
+	// Pre-marshal one request body per variant; workers round-robin.
+	bodies := make([][]byte, *vary)
+	for i := range bodies {
+		design := string(src)
+		if *vary > 1 {
+			// Content-hash-distinct, semantically identical.
+			design += fmt.Sprintf("\n// assertload variant %d\n", i)
+		}
+		b, err := json.Marshal(checkRequest{
+			Design: design, Top: *top,
+			Invariants: inv, Witnesses: wit,
+			Depth: *depth, Jobs: *jobs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assertload:", err)
+			os.Exit(2)
+		}
+		bodies[i] = b
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  int64
+		served    int64
+		shed      int64
+		errs      int64
+		cacheHits int64
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	client := &http.Client{}
+	endpoint := strings.TrimRight(*url, "/") + "/v1/check"
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 1024)
+			var lRequests, lServed, lShed, lErrs, lHits int64
+			for i := w; ctx.Err() == nil; i++ {
+				body := bodies[i%len(bodies)]
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
+				if err != nil {
+					lErrs++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						break
+					}
+					lRequests++
+					lErrs++
+					continue
+				}
+				lRequests++
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					lServed++
+					local = append(local, time.Since(t0))
+					if resp.Header.Get("X-Design-Cache") == "hit" {
+						lHits++
+					}
+				case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+					// Honor the server's flow control: sleep the hint
+					// before offering more load.
+					lShed++
+					wait := time.Second
+					if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+						wait = time.Duration(secs) * time.Second
+					}
+					if wait > *maxRetryAfter {
+						wait = *maxRetryAfter
+					}
+					select {
+					case <-time.After(wait):
+					case <-ctx.Done():
+					}
+				default:
+					lErrs++
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			requests += lRequests
+			served += lServed
+			shed += lShed
+			errs += lErrs
+			cacheHits += lHits
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	s := summary{
+		Target:      *url,
+		Concurrency: *concurrency,
+		DurationS:   elapsed.Seconds(),
+		Variants:    *vary,
+		Requests:    requests,
+		Served:      served,
+		Shed:        shed,
+		Errors:      errs,
+		CacheHits:   cacheHits,
+		P50Ms:       quantileMs(latencies, 0.50),
+		P90Ms:       quantileMs(latencies, 0.90),
+		P99Ms:       quantileMs(latencies, 0.99),
+	}
+	if elapsed > 0 {
+		s.ThroughputRPS = float64(served) / elapsed.Seconds()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		fmt.Fprintln(os.Stderr, "assertload:", err)
+		os.Exit(1)
+	}
+	if served == 0 {
+		os.Exit(1)
+	}
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// quantileMs returns the q-quantile of sorted latencies in
+// milliseconds (0 when nothing was served).
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

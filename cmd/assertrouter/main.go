@@ -1,0 +1,120 @@
+// Command assertrouter is the multi-replica front end of the assertion
+// checker: it serves the same POST /v1/check API assertd does, but
+// shards each batch across a fleet of assertd replicas by consistent
+// hash of the design content (keeping every replica's compiled-design
+// cache hot for its slice of the design space) and reassembles the
+// input-ordered response — byte-identical to a single replica's answer
+// modulo elapsed_ns.
+//
+// Usage:
+//
+//	assertrouter -replicas http://h1:8545,http://h2:8545[,...]
+//	             [-addr :8550] [-spread N] [-hedge] [-faults]
+//	             [-health-interval D] [-breaker-cooldown D]
+//	             [-max-attempts N] [-retry-same N] [-drain-timeout D]
+//
+// Failure handling (see internal/cluster): per-replica health checks
+// drive ring membership (draining and dead replicas leave the ring);
+// 429/503 shed answers are retried on the same replica honoring
+// Retry-After; hard failures move the shard along the ring, feed a
+// per-replica circuit breaker, and mid-batch the failed replica's
+// unanswered properties are re-sharded across the survivors. -hedge
+// additionally races slow sub-requests against the next candidate.
+//
+// GET /healthz aggregates the fleet: per-replica state, breaker
+// position and served/shed ledgers plus the router's own routing
+// counters. On SIGTERM/SIGINT the router refuses new batches (503),
+// drains in-flight scatter/gathers, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8550", "listen address")
+		replicas        = flag.String("replicas", "", "comma-separated assertd base URLs (required)")
+		spread          = flag.Int("spread", 0, "max replicas one batch is sharded across (0 = all healthy)")
+		maxAttempts     = flag.Int("max-attempts", 0, "replicas tried per shard before giving up (0 = 3)")
+		retrySame       = flag.Int("retry-same", 0, "same-replica retries of a shed (429/503) answer (0 = 2)")
+		maxFailover     = flag.Int("max-failover", 0, "re-shard recursion depth after replica failures (0 = 3)")
+		healthInterval  = flag.Duration("health-interval", 0, "replica /healthz poll period (0 = 500ms)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0, "circuit breaker open -> half-open delay (0 = 2s)")
+		hedge           = flag.Bool("hedge", false, "hedge slow sub-requests against the next ring candidate")
+		hedgeMinDelay   = flag.Duration("hedge-min-delay", 0, "floor of the p99-derived hedge delay (0 = 50ms)")
+		drainTimeout    = flag.Duration("drain-timeout", 10*time.Second, "how long to drain in-flight batches on SIGTERM before exiting")
+		faults          = flag.Bool("faults", false, "enable the X-Fault-Inject header incl. route.* points (degradation testing only)")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "assertrouter: -replicas is required (comma-separated assertd base URLs)")
+		os.Exit(2)
+	}
+
+	rt, err := cluster.New(cluster.Options{
+		Replicas:        urls,
+		Spread:          *spread,
+		MaxAttempts:     *maxAttempts,
+		RetrySame:       *retrySame,
+		MaxFailover:     *maxFailover,
+		HealthInterval:  *healthInterval,
+		BreakerCooldown: *breakerCooldown,
+		Hedge:           *hedge,
+		HedgeMinDelay:   *hedgeMinDelay,
+		EnableFaults:    *faults,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assertrouter:", err)
+		os.Exit(2)
+	}
+	hs := &http.Server{Addr: *addr, Handler: rt.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "assertrouter: listening on %s, %d replicas\n", *addr, len(urls))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "assertrouter:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		// Same drain shape as assertd: refuse new batches (503 +
+		// Retry-After), let in-flight scatter/gathers finish under the
+		// drain budget, then force-close.
+		fmt.Fprintf(os.Stderr, "assertrouter: %v — draining (timeout %v)\n", s, *drainTimeout)
+		rt.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "assertrouter: drain expired, closing: %v\n", err)
+			_ = hs.Close()
+			rt.Close()
+			os.Exit(1)
+		}
+		rt.Close()
+		fmt.Fprintln(os.Stderr, "assertrouter: drained")
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestBreaker(now *time.Time) *breaker {
+	b := newBreaker(8, 0.5, 4, 100*time.Millisecond)
+	b.now = func() time.Time { return *now }
+	return b
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTestBreaker(&now)
+	if !b.Allow() {
+		t.Fatal("fresh breaker denies")
+	}
+	// Below min samples nothing trips.
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v before min samples, want closed", b.State())
+	}
+	b.Record(false)
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v after 4/4 failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbeLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTestBreaker(&now)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	if b.State() != breakerOpen {
+		t.Fatal("setup: breaker not open")
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker denied the probe")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe failure re-opens for another cooldown.
+	b.Record(false)
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed immediately")
+	}
+	// Next cooldown, successful probe closes.
+	now = now.Add(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe denied")
+	}
+	b.Record(true)
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v after probe success, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denies")
+	}
+}
+
+// TestBreakerReleaseFreesProbe pins the neutral-outcome contract: a
+// shed or cancelled attempt releases the half-open probe slot without
+// deciding the breaker's fate.
+func TestBreakerReleaseFreesProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTestBreaker(&now)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	now = now.Add(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	b.Release()
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state %v after release, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("released probe slot not reusable")
+	}
+	b.Record(true)
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v, want closed", b.State())
+	}
+}

@@ -1,0 +1,47 @@
+// Sub-request latency tracking for hedging. The router records the
+// duration of every successful sub-request in a fixed ring buffer and
+// derives the hedge delay from the observed p99: a hedge fired at p99
+// costs ~1% duplicated work while cutting exactly the tail it
+// duplicates. With no samples yet the configured floor is used.
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+const latencyWindow = 256
+
+type latencyTracker struct {
+	mu  sync.Mutex
+	buf [latencyWindow]time.Duration
+	idx int
+	n   int
+}
+
+func (l *latencyTracker) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0..1) of the recorded window, or 0
+// with no samples.
+func (l *latencyTracker) quantile(q float64) time.Duration {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := int(q * float64(n-1))
+	return tmp[i]
+}

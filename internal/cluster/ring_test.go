@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingWalkIsDeterministicAndComplete(t *testing.T) {
+	labels := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(labels, 64)
+	first := r.Walk("design-hash-x", nil)
+	if len(first) != len(labels) {
+		t.Fatalf("walk returned %d members, want %d", len(first), len(labels))
+	}
+	seen := map[int]bool{}
+	for _, m := range first {
+		if seen[m] {
+			t.Fatalf("walk repeated member %d", m)
+		}
+		seen[m] = true
+	}
+	for i := 0; i < 10; i++ {
+		again := r.Walk("design-hash-x", nil)
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("walk not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+// TestRingAffinityStableUnderMembershipChange pins the consistent-hash
+// property the design cache depends on: losing one member must not
+// move keys whose primary survives.
+func TestRingAffinityStableUnderMembershipChange(t *testing.T) {
+	labels := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(labels, 64)
+	const dead = 2
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("design-%d", i)
+		before := r.Walk(key, nil)
+		after := r.Walk(key, func(m int) bool { return m != dead })
+		if before[0] == dead {
+			// Keys owned by the dead member must move to its ring
+			// successor — the next member of the original walk.
+			if after[0] != before[1] {
+				t.Fatalf("key %s: dead primary's successor = %d, want %d", key, after[0], before[1])
+			}
+			moved++
+			continue
+		}
+		if after[0] != before[0] {
+			t.Fatalf("key %s: primary moved %d -> %d though %d is alive", key, before[0], after[0], dead)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+	// Rough balance: the dead member owned about a quarter of the keys.
+	if moved < 50 || moved > 250 {
+		t.Errorf("member owned %d/500 keys, suspicious balance", moved)
+	}
+}
+
+func TestRingEveryMemberIsSomeonesPrimary(t *testing.T) {
+	labels := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(labels, 64)
+	counts := make([]int, len(labels))
+	for i := 0; i < 300; i++ {
+		counts[r.Walk(fmt.Sprintf("k%d", i), nil)[0]]++
+	}
+	for m, c := range counts {
+		if c == 0 {
+			t.Errorf("member %d is never primary", m)
+		}
+	}
+}

@@ -1,0 +1,809 @@
+// Package cluster is the multi-replica serving layer: a scatter/gather
+// router that shards a /v1/check batch across N assertd replicas and
+// survives every failure mode the fleet can exhibit.
+//
+// Routing is by consistent hash of the design's content fingerprint:
+// the ring walk from that point gives a stable primary-plus-failover
+// ordering per design, so each replica's LRU design cache stays hot
+// for its shard of the design space. The batch's properties are split
+// round-robin across the first Spread walk members and dispatched
+// concurrently; the per-property records come back input-ordered and,
+// because replica record metrics are deterministic and batch records
+// zero the memstats columns, the reassembled response is byte-identical
+// to a single-node `assertcheck -json` run modulo elapsed_ns.
+//
+// Failure handling is layered: per-replica health checking drives ring
+// membership (a draining replica leaves the ring before its SIGTERM
+// shutdown completes, a dead one after FailThreshold missed polls);
+// 429/503 shed responses are retried on the same replica honoring
+// Retry-After with exponential backoff + jitter as the fallback;
+// connection failures and 5xx move the shard to the next ring member,
+// feeding a per-replica circuit breaker (closed/open/half-open) so a
+// dead or panicking replica stops absorbing attempts; an optional
+// hedge fires a duplicate sub-request on the next candidate after a
+// p99-derived delay, first response wins, loser cancelled. When a
+// replica fails after partial dispatch, its unanswered properties are
+// re-sharded across the surviving candidates, so a mid-batch SIGKILL
+// loses no requests and answers none twice.
+//
+// The internal/faultinject route.dial and route.response points (modes
+// refuse / reset-mid-body / sleep) fire inside the router's dispatch
+// path, making all of the above testable without a real network
+// partition.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/service"
+)
+
+// Options tunes the router.
+type Options struct {
+	// Replicas are the assertd base URLs (e.g. http://10.0.0.1:8545).
+	Replicas []string
+	// VNodes is the number of ring points per replica (0 = 64).
+	VNodes int
+	// Spread caps how many replicas one batch is sharded across
+	// (0 = all healthy candidates). Lower values trade parallelism for
+	// fewer sub-requests per batch.
+	Spread int
+	// MaxAttempts bounds how many replicas one shard may be offered to
+	// before the dispatch fails over to re-sharding or errors (0 = 3).
+	MaxAttempts int
+	// RetrySame bounds the shed-retry loop: how many times a 429/503
+	// answer from a replica is retried on that same replica, honoring
+	// its Retry-After hint (0 = 2).
+	RetrySame int
+	// BaseBackoff seeds the exponential backoff used when a shed
+	// response carries no Retry-After (0 = 25ms); MaxBackoff caps the
+	// growth (0 = 1s). Full jitter is applied to both.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxRetryAfter caps how long a replica's Retry-After hint is
+	// honored (0 = 5s) so a confused replica cannot park the router.
+	MaxRetryAfter time.Duration
+	// MaxFailover bounds the re-shard recursion depth after replica
+	// failures (0 = 3).
+	MaxFailover int
+
+	// HealthInterval is the /healthz poll period (0 = 500ms);
+	// HealthTimeout bounds each poll (0 = 2s). FailThreshold
+	// consecutive poll failures mark a replica down (0 = 2);
+	// RiseThreshold consecutive successes bring it back (0 = 2).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	FailThreshold  int
+	RiseThreshold  int
+
+	// BreakerWindow is the sliding outcome window per replica (0 = 16);
+	// BreakerThreshold the failure rate that opens the breaker
+	// (0 = 0.5); BreakerMinSamples the outcomes required before the
+	// rate counts (0 = 4); BreakerCooldown the open → half-open delay
+	// (0 = 2s).
+	BreakerWindow     int
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
+
+	// Hedge enables tail-latency hedging: when a sub-request has been
+	// in flight longer than the hedge delay, a duplicate is fired at
+	// the next candidate and the first response wins. The delay is the
+	// observed sub-request p99, floored by HedgeMinDelay (0 = 50ms).
+	Hedge         bool
+	HedgeMinDelay time.Duration
+
+	// MaxBodyBytes caps the router's own request bodies (0 = 4 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint the router sends with its own 429/503
+	// responses (0 = 1s).
+	RetryAfter time.Duration
+	// EnableFaults turns on the X-Fault-Inject request header
+	// (degradation testing only), including the route.* points fired
+	// inside the router's dispatch path.
+	EnableFaults bool
+	// Client overrides the HTTP client used for sub-requests and
+	// health polls (nil = a default with sane timeouts).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	defD := func(v *time.Duration, d time.Duration) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&o.VNodes, 64)
+	def(&o.MaxAttempts, 3)
+	def(&o.RetrySame, 2)
+	defD(&o.BaseBackoff, 25*time.Millisecond)
+	defD(&o.MaxBackoff, time.Second)
+	defD(&o.MaxRetryAfter, 5*time.Second)
+	def(&o.MaxFailover, 3)
+	defD(&o.HealthInterval, 500*time.Millisecond)
+	defD(&o.HealthTimeout, 2*time.Second)
+	def(&o.FailThreshold, 2)
+	def(&o.RiseThreshold, 2)
+	def(&o.BreakerWindow, 16)
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 0.5
+	}
+	def(&o.BreakerMinSamples, 4)
+	defD(&o.BreakerCooldown, 2*time.Second)
+	defD(&o.HedgeMinDelay, 50*time.Millisecond)
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 4 << 20
+	}
+	defD(&o.RetryAfter, time.Second)
+	return o
+}
+
+// Router scatters check batches over the replica fleet and gathers
+// byte-identical responses. Construct with New, stop with Close.
+type Router struct {
+	opts     Options
+	ring     *ring
+	replicas []*replica
+	client   *http.Client
+	lat      *latencyTracker
+
+	baseCtx  context.Context
+	done     chan struct{}
+	closeone sync.Once
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	// Counters for the router's own /healthz.
+	served    atomic.Int64 // merged 200 responses
+	failed    atomic.Int64 // batches answered with a routing error
+	retries   atomic.Int64 // shed-retry attempts (Retry-After honored)
+	failovers atomic.Int64 // shards moved off a failed replica
+	resharded atomic.Int64 // shards split across survivors mid-batch
+	hedges    atomic.Int64 // hedge sub-requests fired
+	hedgeWins atomic.Int64 // hedges that answered first
+}
+
+// New builds a router over the replica set and starts its health
+// monitors. Replicas start healthy (optimistically routable); the
+// monitors and the breakers correct that within FailThreshold polls of
+// a dead backend.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.Replicas) == 0 {
+		return nil, errors.New("cluster: no replicas configured")
+	}
+	if opts.EnableFaults {
+		faultinject.Activate()
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	rt := &Router{
+		opts:    opts,
+		ring:    newRing(opts.Replicas, opts.VNodes),
+		client:  client,
+		lat:     &latencyTracker{},
+		baseCtx: context.Background(),
+		done:    make(chan struct{}),
+	}
+	for _, u := range opts.Replicas {
+		rep := &replica{
+			url: u,
+			brk: newBreaker(opts.BreakerWindow, opts.BreakerThreshold,
+				opts.BreakerMinSamples, opts.BreakerCooldown),
+		}
+		rt.replicas = append(rt.replicas, rep)
+	}
+	for _, rep := range rt.replicas {
+		rt.wg.Add(1)
+		go rt.monitor(rep)
+	}
+	return rt, nil
+}
+
+// Close stops the health monitors.
+func (rt *Router) Close() {
+	rt.closeone.Do(func() { close(rt.done) })
+	rt.wg.Wait()
+}
+
+// BeginDrain flips the router into draining: new batches are refused
+// with 503. One-way; assertrouter follows it with http.Server.Shutdown.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// Healthy returns how many replicas are currently routable.
+func (rt *Router) Healthy() int {
+	n := 0
+	for _, rep := range rt.replicas {
+		if rep.routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Scatter/gather.
+
+// propRef is one property of the client batch: its name, kind and its
+// index in the input-ordered response.
+type propRef struct {
+	name    string
+	witness bool
+	idx     int
+}
+
+// orderedProps flattens a request's property lists in response order
+// (invariants first, then witnesses — the order FromNames and the
+// record array use).
+func orderedProps(req *service.CheckRequest) []propRef {
+	props := make([]propRef, 0, len(req.Invariants)+len(req.Witnesses))
+	for _, n := range req.Invariants {
+		props = append(props, propRef{name: n, idx: len(props)})
+	}
+	for _, n := range req.Witnesses {
+		props = append(props, propRef{name: n, witness: true, idx: len(props)})
+	}
+	return props
+}
+
+// shardRequest builds the sub-request for one shard: the same design
+// and batch options, the shard's property subset. The shard's records
+// come back in its own input order — invariants then witnesses — which
+// is exactly the order the shard slice is kept in.
+func shardRequest(base *service.CheckRequest, shard []propRef) *service.CheckRequest {
+	sub := *base
+	sub.Invariants = nil
+	sub.Witnesses = nil
+	for _, p := range shard {
+		if p.witness {
+			sub.Witnesses = append(sub.Witnesses, p.name)
+		} else {
+			sub.Invariants = append(sub.Invariants, p.name)
+		}
+	}
+	return &sub
+}
+
+// sortShard orders a shard response-order: invariants before
+// witnesses, each group in original input order. Shards are built in
+// that order already; re-sharding slices preserve it.
+func sortShard(shard []propRef) []propRef {
+	inv := make([]propRef, 0, len(shard))
+	wit := make([]propRef, 0, len(shard))
+	for _, p := range shard {
+		if p.witness {
+			wit = append(wit, p)
+		} else {
+			inv = append(inv, p)
+		}
+	}
+	return append(inv, wit...)
+}
+
+// errNoReplicas is returned when no routable replica remains.
+var errNoReplicas = errors.New("cluster: no healthy replicas")
+
+// permanentError is a replica answer that must not be retried (the
+// request itself is bad); the router replays its status and body to
+// the client verbatim.
+type permanentError struct {
+	status int
+	body   []byte
+}
+
+func (e *permanentError) Error() string {
+	return fmt.Sprintf("replica answered %d: %s", e.status, bytes.TrimSpace(e.body))
+}
+
+// shedError is a 429/503 answer: the replica is alive but refusing
+// work right now; retryAfter carries its hint (0 = none).
+type shedError struct {
+	status     int
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("replica shedding (status %d, retry-after %v)", e.status, e.retryAfter)
+}
+
+// Check scatters the batch, gathers the per-property records in input
+// order and reports the aggregated design-cache disposition ("hit"
+// when every shard hit its replica's compiled-design cache). The
+// returned error is either a *permanentError (replay to the client),
+// errNoReplicas, or a transport-level routing failure.
+func (rt *Router) Check(ctx context.Context, req *service.CheckRequest) ([]core.JSONRecord, string, error) {
+	props := orderedProps(req)
+	hash := core.Fingerprint(req.Design, req.Top)
+	cands := rt.candidates(hash, nil)
+	if len(cands) == 0 {
+		return nil, "", errNoReplicas
+	}
+	spread := len(cands)
+	if rt.opts.Spread > 0 && rt.opts.Spread < spread {
+		spread = rt.opts.Spread
+	}
+	if spread > len(props) {
+		spread = len(props)
+	}
+	shards := make([][]propRef, spread)
+	for i, p := range props {
+		shards[i%spread] = append(shards[i%spread], p)
+	}
+
+	records := make([]core.JSONRecord, len(props))
+	answered := make([]int, len(props))
+	allHit := true
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for k, shard := range shards {
+		shard := sortShard(shard)
+		// Rotate the candidate walk so shard k's primary is the k-th
+		// ring member; failover candidates follow in ring order.
+		order := make([]*replica, 0, len(cands))
+		for i := 0; i < len(cands); i++ {
+			order = append(order, cands[(k+i)%len(cands)])
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs, hit, err := rt.dispatch(ctx, req, shard, order, 0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if !hit {
+				allHit = false
+			}
+			for j, p := range recs.refs {
+				records[p.idx] = recs.records[j]
+				answered[p.idx]++
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		rt.failed.Add(1)
+		return nil, "", firstErr
+	}
+	// The no-lost-no-duplicate invariant: every property answered
+	// exactly once, whatever failovers and re-shards happened above.
+	for i, n := range answered {
+		if n != 1 {
+			rt.failed.Add(1)
+			return nil, "", fmt.Errorf("cluster: property %q answered %d times", props[i].name, n)
+		}
+	}
+	rt.served.Add(1)
+	disposition := "miss"
+	if allHit {
+		disposition = "hit"
+	}
+	return records, disposition, nil
+}
+
+// candidates returns the routable replicas for a design hash in ring
+// order, excluding any in skip.
+func (rt *Router) candidates(hash string, skip map[*replica]bool) []*replica {
+	walk := rt.ring.Walk(hash, func(m int) bool {
+		rep := rt.replicas[m]
+		return rep.routable() && !skip[rep]
+	})
+	out := make([]*replica, len(walk))
+	for i, m := range walk {
+		out[i] = rt.replicas[m]
+	}
+	return out
+}
+
+// shardResult pairs a shard's records with the propRefs they answer.
+type shardResult struct {
+	refs    []propRef
+	records []core.JSONRecord
+}
+
+// dispatch delivers one shard to the candidate list: the first
+// breaker-admitted candidate is the primary (with hedging against the
+// next one), and on a hard failure the unanswered properties are
+// re-sharded across the surviving candidates — split when the shard
+// and the survivor set allow it, moved whole otherwise. depth bounds
+// the recursion.
+func (rt *Router) dispatch(ctx context.Context, base *service.CheckRequest, shard []propRef, cands []*replica, depth int) (shardResult, bool, error) {
+	if len(shard) == 0 {
+		return shardResult{}, true, nil
+	}
+	var lastErr error
+	attempts := 0
+	for i := 0; i < len(cands); i++ {
+		if attempts >= rt.opts.MaxAttempts {
+			break
+		}
+		rep := cands[i]
+		if !rep.routable() || !rep.brk.Allow() {
+			continue
+		}
+		attempts++
+		if attempts > 1 {
+			rt.failovers.Add(1)
+		}
+		recs, hit, err := rt.tryReplica(ctx, base, shard, rep, cands[i+1:])
+		if err == nil {
+			return shardResult{refs: shard, records: recs}, hit, nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return shardResult{}, false, err
+		}
+		if ctx.Err() != nil {
+			return shardResult{}, false, ctx.Err()
+		}
+		lastErr = err
+		// Hard failure: try to re-shard the unanswered properties
+		// across the remaining candidates instead of marching on with
+		// the whole shard — survivors share the recovery load and the
+		// batch's tail shrinks.
+		if len(shard) > 1 && depth < rt.opts.MaxFailover {
+			survivors := liveTail(cands[i+1:])
+			if len(survivors) > 1 {
+				rt.resharded.Add(1)
+				return rt.reshard(ctx, base, shard, survivors, depth+1)
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = errNoReplicas
+	}
+	return shardResult{}, false, fmt.Errorf("cluster: shard undeliverable after %d attempts: %w", attempts, lastErr)
+}
+
+// liveTail filters a candidate tail down to currently-routable
+// replicas (breaker admission is checked at attempt time, not here).
+func liveTail(cands []*replica) []*replica {
+	out := make([]*replica, 0, len(cands))
+	for _, rep := range cands {
+		if rep.routable() {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// reshard splits a failed shard's properties across the survivors and
+// dispatches the pieces concurrently, each with the survivor list
+// rotated so the pieces spread instead of piling onto one replica.
+func (rt *Router) reshard(ctx context.Context, base *service.CheckRequest, shard []propRef, survivors []*replica, depth int) (shardResult, bool, error) {
+	n := len(survivors)
+	pieces := make([][]propRef, n)
+	for i, p := range shard {
+		pieces[i%n] = append(pieces[i%n], p)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		merged   shardResult
+		allHit   = true
+	)
+	for k, piece := range pieces {
+		if len(piece) == 0 {
+			continue
+		}
+		piece := sortShard(piece)
+		order := make([]*replica, 0, n)
+		for i := 0; i < n; i++ {
+			order = append(order, survivors[(k+i)%n])
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, hit, err := rt.dispatch(ctx, base, piece, order, depth)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if !hit {
+				allHit = false
+			}
+			merged.refs = append(merged.refs, res.refs...)
+			merged.records = append(merged.records, res.records...)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return shardResult{}, false, firstErr
+	}
+	return merged, allHit, nil
+}
+
+// tryReplica delivers a shard to one replica, absorbing shed answers
+// with Retry-After-honoring retries, and hedging the in-flight attempt
+// against the next candidate when enabled. It returns the shard's
+// records on success; a *permanentError must not be retried; any other
+// error means this replica (and, if hedged, the hedge target) could
+// not answer.
+func (rt *Router) tryReplica(ctx context.Context, base *service.CheckRequest, shard []propRef, rep *replica, rest []*replica) ([]core.JSONRecord, bool, error) {
+	if !rt.opts.Hedge {
+		return rt.attemptWithShedRetry(ctx, base, shard, rep)
+	}
+	hedgeTarget := pickHedge(rest)
+	if hedgeTarget == nil {
+		return rt.attemptWithShedRetry(ctx, base, shard, rep)
+	}
+
+	type outcome struct {
+		recs   []core.JSONRecord
+		hit    bool
+		err    error
+		hedged bool
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan outcome, 2)
+	launch := func(target *replica, hedged bool) {
+		recs, hit, err := rt.attemptWithShedRetry(actx, base, shard, target)
+		results <- outcome{recs: recs, hit: hit, err: err, hedged: hedged}
+	}
+	go launch(rep, false)
+
+	delay := rt.hedgeDelay()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	inFlight := 1
+	hedgeFired := false
+	var firstErr error
+	for inFlight > 0 {
+		select {
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				if hedgeTarget.routable() && hedgeTarget.brk.Allow() {
+					rt.hedges.Add(1)
+					inFlight++
+					go launch(hedgeTarget, true)
+				}
+			}
+		case out := <-results:
+			inFlight--
+			if out.err == nil {
+				// First response wins; cancelling actx aborts the
+				// loser's sub-request, which the replica observes as a
+				// gone client and cancels its batch.
+				if out.hedged {
+					rt.hedgeWins.Add(1)
+				}
+				return out.recs, out.hit, nil
+			}
+			var perm *permanentError
+			if errors.As(out.err, &perm) {
+				return nil, false, out.err
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		}
+	}
+	return nil, false, firstErr
+}
+
+// pickHedge chooses the hedge target: the first routable candidate
+// after the primary.
+func pickHedge(rest []*replica) *replica {
+	for _, rep := range rest {
+		if rep.routable() {
+			return rep
+		}
+	}
+	return nil
+}
+
+// hedgeDelay derives the hedge trigger from the observed sub-request
+// p99, floored by HedgeMinDelay.
+func (rt *Router) hedgeDelay() time.Duration {
+	d := rt.lat.quantile(0.99)
+	if d < rt.opts.HedgeMinDelay {
+		d = rt.opts.HedgeMinDelay
+	}
+	return d
+}
+
+// attemptWithShedRetry sends the shard to one replica, retrying shed
+// answers (429/503) on the same replica up to RetrySame times. The
+// sleep between retries honors the replica's Retry-After hint (capped
+// by MaxRetryAfter); without a hint it falls back to exponential
+// backoff. Full jitter on both keeps a recovering fleet from being
+// re-flooded in lockstep.
+func (rt *Router) attemptWithShedRetry(ctx context.Context, base *service.CheckRequest, shard []propRef, rep *replica) ([]core.JSONRecord, bool, error) {
+	var lastErr error
+	for try := 0; try <= rt.opts.RetrySame; try++ {
+		if try > 0 {
+			rt.retries.Add(1)
+		}
+		recs, hit, err := rt.attempt(ctx, base, shard, rep)
+		if err == nil {
+			return recs, hit, nil
+		}
+		lastErr = err
+		var shed *shedError
+		if !errors.As(err, &shed) {
+			return nil, false, err
+		}
+		if try == rt.opts.RetrySame {
+			break
+		}
+		wait := shed.retryAfter
+		if wait <= 0 {
+			wait = rt.opts.BaseBackoff << uint(try)
+		}
+		if wait > rt.opts.MaxRetryAfter {
+			wait = rt.opts.MaxRetryAfter
+		}
+		if wait > rt.opts.MaxBackoff && shed.retryAfter <= 0 {
+			wait = rt.opts.MaxBackoff
+		}
+		// Full jitter: sleep U(wait/2, wait) so synchronized retries
+		// decorrelate.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		if err := sleepCtx(ctx, wait); err != nil {
+			return nil, false, err
+		}
+	}
+	return nil, false, lastErr
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attempt performs one sub-request to one replica and classifies the
+// outcome: records on 200, *shedError on 429/503, *permanentError on
+// other 4xx, plain error (breaker-feeding) on transport failures and
+// 5xx. The faultinject route.dial and route.response points fire here.
+func (rt *Router) attempt(ctx context.Context, base *service.CheckRequest, shard []propRef, rep *replica) ([]core.JSONRecord, bool, error) {
+	if err := faultinject.Fire(ctx, faultinject.PointRouteDial); err != nil {
+		// An injected refuse models connect() failing: nothing was
+		// sent, the breaker records a hard failure, the shard is free
+		// to go elsewhere.
+		rep.brk.Record(false)
+		return nil, false, fmt.Errorf("dial %s: %w", rep.url, err)
+	}
+	sub := shardRequest(base, shard)
+	body, err := json.Marshal(sub)
+	if err != nil {
+		rep.brk.Release()
+		return nil, false, err
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/v1/check", bytes.NewReader(body))
+	if err != nil {
+		rep.brk.Release()
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// A cancelled attempt (deadline, or a hedge loser) says
+			// nothing about the replica — don't charge its breaker.
+			rep.brk.Release()
+			return nil, false, ctx.Err()
+		}
+		rep.brk.Record(false)
+		return nil, false, fmt.Errorf("post %s: %w", rep.url, err)
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := faultinject.Fire(ctx, faultinject.PointRouteResponse); err != nil {
+			var reset *faultinject.ResetError
+			if errors.As(err, &reset) {
+				// Model a connection reset mid-body: consume a little,
+				// then abandon the truncated read. The bytes received
+				// so far are useless — the shard must be re-fetched.
+				_, _ = io.CopyN(io.Discard, resp.Body, 64)
+			}
+			rep.brk.Record(false)
+			return nil, false, fmt.Errorf("read %s: %w", rep.url, err)
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+		if err != nil {
+			if ctx.Err() != nil {
+				rep.brk.Release()
+				return nil, false, ctx.Err()
+			}
+			rep.brk.Record(false)
+			return nil, false, fmt.Errorf("read %s: %w", rep.url, err)
+		}
+		var recs []core.JSONRecord
+		if err := json.Unmarshal(data, &recs); err != nil {
+			rep.brk.Record(false)
+			return nil, false, fmt.Errorf("decode %s: %w", rep.url, err)
+		}
+		if err := validateShardRecords(shard, recs); err != nil {
+			rep.brk.Record(false)
+			return nil, false, fmt.Errorf("%s: %w", rep.url, err)
+		}
+		rep.brk.Record(true)
+		rt.lat.record(time.Since(start))
+		return recs, resp.Header.Get("X-Design-Cache") == "hit", nil
+
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// Flow control, not failure: the replica is alive and telling
+		// us when to come back. Deliberately not a breaker outcome.
+		rep.brk.Release()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		var ra time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		return nil, false, &shedError{status: resp.StatusCode, retryAfter: ra}
+
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The request itself is bad — retrying elsewhere would just
+		// fail again; replay the replica's answer to the client.
+		rep.brk.Release()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, false, &permanentError{status: resp.StatusCode, body: data}
+
+	default:
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		rep.brk.Record(false)
+		return nil, false, fmt.Errorf("%s answered %d: %s", rep.url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+}
+
+// validateShardRecords checks a replica's answer against the shard
+// that was asked: exactly one record per property, names in shard
+// order. Anything else means the response cannot be merged and the
+// shard must be re-fetched.
+func validateShardRecords(shard []propRef, recs []core.JSONRecord) error {
+	if len(recs) != len(shard) {
+		return fmt.Errorf("cluster: shard of %d properties answered with %d records", len(shard), len(recs))
+	}
+	for j, p := range shard {
+		if recs[j].Property != p.name {
+			return fmt.Errorf("cluster: record %d is %q, want %q", j, recs[j].Property, p.name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,482 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/property"
+	"repro/internal/service"
+)
+
+// clusterSrc is the fleet-test design: the serve-smoke token ring with
+// every grant bit exposed as a witness target, giving an 8-property
+// batch (2 invariants + 6 witnesses) that shards across 3 replicas.
+const clusterSrc = `
+module ring8(clk, req, hold, grant, token, tok_onehot, quiet_ok, g0, g1, g2, g3, g4, g5);
+  input clk;
+  input [7:0] req;
+  input [7:0] hold;
+  output [7:0] grant;
+  output [7:0] token;
+  output tok_onehot;
+  output quiet_ok;
+  output g0;
+  output g1;
+  output g2;
+  output g3;
+  output g4;
+  output g5;
+  reg [7:0] token;
+  wire advance;
+  wire [7:0] tm1;
+  assign grant = token & req;
+  assign advance = ~|(token & hold);
+  assign tm1 = token - 8'd1;
+  assign tok_onehot = (~|(token & tm1)) & (|token);
+  assign quiet_ok = ~(grant[0] & grant[1]);
+  assign g0 = grant[0];
+  assign g1 = grant[1];
+  assign g2 = grant[2];
+  assign g3 = grant[3];
+  assign g4 = grant[4];
+  assign g5 = grant[5];
+  always @(posedge clk) begin
+    if (advance) token <= {token[6:0], token[7]};
+  end
+  initial token = 8'd1;
+endmodule
+`
+
+var (
+	clusterInv = []string{"tok_onehot", "quiet_ok"}
+	clusterWit = []string{"g0", "g1", "g2", "g3", "g4", "g5"}
+)
+
+func clusterReq() *service.CheckRequest {
+	return &service.CheckRequest{
+		Design:     clusterSrc,
+		Top:        "ring8",
+		Invariants: append([]string(nil), clusterInv...),
+		Witnesses:  append([]string(nil), clusterWit...),
+		Depth:      8,
+		Jobs:       4,
+	}
+}
+
+// referenceRecords computes the single-node ground truth the merged
+// router response must match byte-for-byte (modulo elapsed_ns): the
+// same check the service path runs, straight through core.
+func referenceRecords(t *testing.T) []core.JSONRecord {
+	t.Helper()
+	d, err := core.CompileVerilog(clusterSrc, "ring8")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sess, err := d.NewSession(core.Options{MaxDepth: 8, UseInduction: true})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	props, err := property.FromNames(d.Netlist(), clusterInv, clusterWit)
+	if err != nil {
+		t.Fatalf("props: %v", err)
+	}
+	results := sess.CheckAll(context.Background(), props, core.BatchOptions{Jobs: 1})
+	return core.RecordsFromResults(results)
+}
+
+var elapsedRe = regexp.MustCompile(`"elapsed_ns": [0-9]+`)
+
+func normalizeElapsed(b []byte) string {
+	return elapsedRe.ReplaceAllString(string(b), `"elapsed_ns": 0`)
+}
+
+func encodeRecords(t *testing.T, recs []core.JSONRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.EncodeJSONRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newFleet starts n in-process assertd replicas. wrap, when non-nil,
+// interposes on each replica's handler (fault shims for the tests).
+func newFleet(t *testing.T, n int, wrap func(http.Handler) http.Handler) ([]*httptest.Server, []*service.Server, []string) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	svcs := make([]*service.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		svcs[i] = service.New(service.Options{MaxJobs: 4, MaxConcurrent: 4})
+		h := svcs[i].Handler()
+		if wrap != nil {
+			h = wrap(h)
+		}
+		servers[i] = httptest.NewServer(h)
+		urls[i] = servers[i].URL
+		ts := servers[i]
+		t.Cleanup(ts.Close)
+	}
+	return servers, svcs, urls
+}
+
+func newTestRouter(t *testing.T, urls []string, mod func(*Options)) *Router {
+	t.Helper()
+	o := Options{
+		Replicas:       urls,
+		HealthInterval: 20 * time.Millisecond,
+		HealthTimeout:  time.Second,
+		BaseBackoff:    5 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+	}
+	if mod != nil {
+		mod(&o)
+	}
+	rt, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestRouterMergedResponseMatchesSingleNode is the tentpole contract:
+// a batch scattered over 3 replicas comes back byte-identical to the
+// single-node response modulo elapsed_ns, and the consistent-hash
+// affinity makes a repeat batch an all-shards cache hit.
+func TestRouterMergedResponseMatchesSingleNode(t *testing.T) {
+	want := normalizeElapsed(encodeRecords(t, referenceRecords(t)))
+	_, _, urls := newFleet(t, 3, nil)
+	rt := newTestRouter(t, urls, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	post := func() (*http.Response, []byte) {
+		body, err := json.Marshal(clusterReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(front.URL+"/v1/check", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	resp, data := post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := normalizeElapsed(data); got != want {
+		t.Fatalf("merged response differs from single-node run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Same design again: every shard lands on the same replica (ring
+	// affinity) whose design cache is now warm.
+	resp, data = post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Design-Cache"); got != "hit" {
+		t.Fatalf("second request X-Design-Cache = %q, want hit", got)
+	}
+	if got := normalizeElapsed(data); got != want {
+		t.Fatalf("second merged response differs from single-node run")
+	}
+
+	hres, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var h routerHealth
+	if err := json.NewDecoder(hres.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Replicas) != 3 || h.Served != 2 {
+		t.Fatalf("router health = %+v, want ok/3 replicas/served 2", h)
+	}
+}
+
+// TestRouterHonorsRetryAfter pins the shed-retry contract: a 503 with
+// Retry-After is retried on the same replica no sooner than half the
+// hint (full jitter), and succeeds without failing over.
+func TestRouterHonorsRetryAfter(t *testing.T) {
+	var checks atomic.Int64
+	wrap := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/check" && checks.Add(1) == 1 {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_, _ = w.Write([]byte(`{"error":"shedding"}`))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, _, urls := newFleet(t, 1, wrap)
+	rt := newTestRouter(t, urls, nil)
+
+	start := time.Now()
+	recs, _, err := rt.Check(context.Background(), clusterReq())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	if got := checks.Load(); got != 2 {
+		t.Fatalf("replica saw %d check requests, want 2 (shed + retry)", got)
+	}
+	if rt.retries.Load() != 1 {
+		t.Fatalf("retries counter = %d, want 1", rt.retries.Load())
+	}
+	// Full jitter sleeps U(hint/2, hint): the retry cannot land before
+	// ~500ms of the 1s hint.
+	if elapsed < 400*time.Millisecond {
+		t.Fatalf("retry after %v, too early for a 1s Retry-After hint", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("retry after %v, hint was 1s", elapsed)
+	}
+}
+
+// TestRouterFailsOverFromDeadReplica: a replica that refuses
+// connections costs a failover, not the batch.
+func TestRouterFailsOverFromDeadReplica(t *testing.T) {
+	_, _, urls := newFleet(t, 1, nil)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // port now refuses connections
+	rt := newTestRouter(t, []string{urls[0], dead.URL}, nil)
+
+	recs, _, err := rt.Check(context.Background(), clusterReq())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	want := normalizeElapsed(encodeRecords(t, referenceRecords(t)))
+	if got := normalizeElapsed(encodeRecords(t, recs)); got != want {
+		t.Fatal("failover response differs from single-node run")
+	}
+	if rt.failovers.Load() == 0 && rt.resharded.Load() == 0 {
+		t.Fatal("dead replica cost no failover or reshard")
+	}
+}
+
+// TestRouterAvoidsDrainingReplica: one draining healthz answer takes a
+// replica out of the ring before any shard wastes a round trip on its
+// 503.
+func TestRouterAvoidsDrainingReplica(t *testing.T) {
+	_, svcs, urls := newFleet(t, 2, nil)
+	rt := newTestRouter(t, urls, nil)
+
+	svcs[0].BeginDrain()
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.replicas[0].State() != stateDraining {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never observed draining state (replica 0 = %v)", rt.replicas[0].State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rt.Healthy(); got != 1 {
+		t.Fatalf("Healthy() = %d, want 1", got)
+	}
+
+	recs, _, err := rt.Check(context.Background(), clusterReq())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	if got := svcs[0].Served(); got != 0 {
+		t.Fatalf("draining replica served %d batches, want 0", got)
+	}
+	if got := svcs[1].Served(); got == 0 {
+		t.Fatal("surviving replica served nothing")
+	}
+}
+
+// TestRouterMarksFailingReplicaDownAndRecovers drives the health state
+// machine both ways with the replica's port kept bound the whole time
+// (a 500-answering /healthz is a poll failure, same as a refused dial,
+// but immune to another test rebinding a freed ephemeral port):
+// FailThreshold consecutive failures mark the replica down and shrink
+// Healthy(); RiseThreshold consecutive successes put it back.
+func TestRouterMarksFailingReplicaDownAndRecovers(t *testing.T) {
+	var failHost atomic.Value // host:port whose /healthz answers 500
+	failHost.Store("")
+	wrap := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" && r.Host == failHost.Load().(string) {
+				http.Error(w, "injected health failure", http.StatusInternalServerError)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, _, urls := newFleet(t, 2, wrap)
+	rt := newTestRouter(t, urls, nil)
+
+	failHost.Store(strings.TrimPrefix(urls[0], "http://"))
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.replicas[0].State() != stateDown {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 0 state = %v, want down", rt.replicas[0].State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rt.Healthy(); got != 1 {
+		t.Fatalf("Healthy() = %d with one replica down, want 1", got)
+	}
+
+	failHost.Store("")
+	deadline = time.Now().Add(2 * time.Second)
+	for rt.replicas[0].State() != stateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 0 state = %v, want healthy again", rt.replicas[0].State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rt.Healthy(); got != 2 {
+		t.Fatalf("Healthy() = %d after recovery, want 2", got)
+	}
+}
+
+// TestRouterRouteFaultInjection drives the network-shaped faultinject
+// points through the router's own HTTP front end: budgeted dial
+// refusals and mid-body resets recover transparently, an unbounded
+// refusal surfaces as a routing error.
+func TestRouterRouteFaultInjection(t *testing.T) {
+	want := normalizeElapsed(encodeRecords(t, referenceRecords(t)))
+	_, _, urls := newFleet(t, 2, nil)
+	rt := newTestRouter(t, urls, func(o *Options) { o.EnableFaults = true })
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	post := func(spec string, req *service.CheckRequest) (*http.Response, []byte) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := http.NewRequest(http.MethodPost, front.URL+"/v1/check", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		if spec != "" {
+			hr.Header.Set("X-Fault-Inject", spec)
+		}
+		resp, err := http.DefaultClient.Do(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	// One refused dial: the shard retries elsewhere, the client never
+	// notices.
+	resp, data := post("route.dial=refuse:1", clusterReq())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refuse:1 status %d: %s", resp.StatusCode, data)
+	}
+	if got := normalizeElapsed(data); got != want {
+		t.Fatal("refuse:1 response differs from single-node run")
+	}
+
+	// One response reset mid-body: the truncated shard is re-fetched.
+	resp, data = post("route.response=reset-mid-body:1", clusterReq())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reset:1 status %d: %s", resp.StatusCode, data)
+	}
+	if got := normalizeElapsed(data); got != want {
+		t.Fatal("reset:1 response differs from single-node run")
+	}
+
+	// Every dial refused: no replica is reachable, the router must say
+	// so rather than hang or lie.
+	small := clusterReq()
+	small.Invariants = []string{"tok_onehot"}
+	small.Witnesses = nil
+	resp, data = post("route.dial=refuse", small)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("unbounded refuse status %d (%s), want 502", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "routing failed") {
+		t.Fatalf("unbounded refuse body %q lacks routing error", data)
+	}
+}
+
+// TestRouterHedgesSlowPrimary: with hedging on, a primary stuck past
+// the hedge delay is raced by the next candidate and the fast answer
+// wins.
+func TestRouterHedgesSlowPrimary(t *testing.T) {
+	var slowHost atomic.Value // host:port string; set before the check
+	slowHost.Store("")
+	wrap := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/check" && r.Host == slowHost.Load().(string) {
+				select {
+				case <-time.After(2 * time.Second):
+				case <-r.Context().Done():
+					return // hedge won; the router hung up
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, _, urls := newFleet(t, 2, wrap)
+	rt := newTestRouter(t, urls, func(o *Options) {
+		o.Hedge = true
+		o.HedgeMinDelay = 30 * time.Millisecond
+		o.Spread = 1 // one shard, so the slow primary is on the critical path
+	})
+
+	req := clusterReq()
+	hash := core.Fingerprint(req.Design, req.Top)
+	primary := rt.candidates(hash, nil)[0]
+	slowHost.Store(strings.TrimPrefix(primary.url, "http://"))
+
+	start := time.Now()
+	recs, _, err := rt.Check(context.Background(), req)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	if rt.hedges.Load() == 0 || rt.hedgeWins.Load() == 0 {
+		t.Fatalf("hedges=%d wins=%d, want both > 0", rt.hedges.Load(), rt.hedgeWins.Load())
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("batch took %v: the hedge did not beat the stuck primary", elapsed)
+	}
+	want := normalizeElapsed(encodeRecords(t, referenceRecords(t)))
+	if got := normalizeElapsed(encodeRecords(t, recs)); got != want {
+		t.Fatal("hedged response differs from single-node run")
+	}
+}

@@ -1,0 +1,182 @@
+// The router's own HTTP surface: the same POST /v1/check API assertd
+// serves (so clients cannot tell a router from a single replica), plus
+// a GET /healthz that aggregates the fleet — per-replica state,
+// breaker position and capacity/ledger snapshot alongside the router's
+// own routing counters.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/service"
+)
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", rt.recovering(rt.handleCheck))
+	mux.HandleFunc("/healthz", rt.handleHealth)
+	return mux
+}
+
+func (rt *Router) recovering(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				httpError(w, http.StatusInternalServerError, "internal panic: %v", rec)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (rt *Router) overloaded(w http.ResponseWriter, status int, format string, args ...any) {
+	secs := int(rt.opts.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, status, format, args...)
+}
+
+func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req service.CheckRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Cheap structural validation up front; everything design-specific
+	// (signal names, depth caps) is the replicas' call and replays back
+	// through the permanentError path.
+	if req.Design == "" || req.Top == "" {
+		httpError(w, http.StatusBadRequest, "design and top are required")
+		return
+	}
+	if len(req.Invariants)+len(req.Witnesses) == 0 {
+		httpError(w, http.StatusBadRequest, "need at least one invariant or witness")
+		return
+	}
+	if rt.Draining() {
+		rt.overloaded(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+		return
+	}
+	ctx := r.Context()
+	if rt.opts.EnableFaults {
+		if spec := r.Header.Get("X-Fault-Inject"); spec != "" {
+			set, err := faultinject.Parse(spec)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			ctx = faultinject.WithSet(ctx, set)
+		}
+	}
+
+	records, disposition, err := rt.Check(ctx, &req)
+	if err != nil {
+		var perm *permanentError
+		switch {
+		case errors.As(err, &perm):
+			// Replay the replica's verdict on the request verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(perm.status)
+			_, _ = w.Write(perm.body)
+		case errors.Is(err, errNoReplicas):
+			rt.overloaded(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			httpError(w, http.StatusBadGateway, "routing failed: %v", err)
+		}
+		return
+	}
+	var buf bytes.Buffer
+	if err := core.EncodeJSONRecords(&buf, records); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Design-Cache", disposition)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// routerHealth is the router's /healthz body.
+type routerHealth struct {
+	Status    string          `json:"status"`
+	Healthy   int             `json:"healthy"`
+	Replicas  []replicaReport `json:"replicas"`
+	Served    int64           `json:"served"`
+	Failed    int64           `json:"failed"`
+	Retries   int64           `json:"retries"`
+	Failovers int64           `json:"failovers"`
+	Resharded int64           `json:"resharded"`
+	Hedges    int64           `json:"hedges"`
+	HedgeWins int64           `json:"hedge_wins"`
+}
+
+type replicaReport struct {
+	URL      string `json:"url"`
+	State    string `json:"state"`
+	Breaker  string `json:"breaker"`
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+	Served   int64  `json:"served"`
+	Shed     int64  `json:"shed"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := routerHealth{
+		Healthy:   rt.Healthy(),
+		Served:    rt.served.Load(),
+		Failed:    rt.failed.Load(),
+		Retries:   rt.retries.Load(),
+		Failovers: rt.failovers.Load(),
+		Resharded: rt.resharded.Load(),
+		Hedges:    rt.hedges.Load(),
+		HedgeWins: rt.hedgeWins.Load(),
+	}
+	switch {
+	case rt.Draining():
+		h.Status = "draining"
+	case h.Healthy == 0:
+		h.Status = "unavailable"
+	case h.Healthy < len(rt.replicas):
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	for _, rep := range rt.replicas {
+		rr := replicaReport{
+			URL:     rep.url,
+			State:   rep.State().String(),
+			Breaker: rep.brk.State().String(),
+		}
+		if snap := rep.last.Load(); snap != nil {
+			rr.InFlight = snap.InFlight
+			rr.Queued = snap.Queued
+			rr.Served = snap.Served
+			rr.Shed = snap.Shed
+		}
+		h.Replicas = append(h.Replicas, rr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h)
+}

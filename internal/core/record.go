@@ -60,7 +60,16 @@ func RecordsFromResults(results []Result) []JSONRecord {
 // result batch — the exact bytes assertcheck -json prints and assertd
 // serves.
 func EncodeRecords(w io.Writer, results []Result) error {
+	return EncodeJSONRecords(w, RecordsFromResults(results))
+}
+
+// EncodeJSONRecords writes already-flattened records with the same
+// canonical rendering. The cluster router reassembles per-replica
+// record subsets into one batch and re-encodes them through this, so a
+// scattered/gathered response stays byte-identical to a single-node
+// one.
+func EncodeJSONRecords(w io.Writer, records []JSONRecord) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(RecordsFromResults(results))
+	return enc.Encode(records)
 }

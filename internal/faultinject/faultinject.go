@@ -17,6 +17,7 @@ package faultinject
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,14 @@ const (
 	PointEngineBMC  = "engine.bmc"  // SAT-BMC engine check loop
 	PointEngineBDD  = "engine.bdd"  // BDD engine check loop
 	PointEncode     = "encode"      // response record encoding
+
+	// The network-shaped points the cluster router exposes: the dial
+	// side of a sub-request to a replica, and the response body read
+	// coming back. Together with the refuse/reset modes they make
+	// connection-refused and connection-reset-mid-body failures
+	// injectable without a real network partition.
+	PointRouteDial     = "route.dial"     // sub-request dispatch to a replica
+	PointRouteResponse = "route.response" // replica response body read
 )
 
 // Points lists every named failure point (the degrade test matrix).
@@ -37,6 +46,7 @@ var Points = []string{
 	PointCompile, PointSession,
 	PointEngineATPG, PointEngineBMC, PointEngineBDD,
 	PointEncode,
+	PointRouteDial, PointRouteResponse,
 }
 
 // Mode is what an armed point does when fired.
@@ -54,26 +64,44 @@ const (
 	// ModeSleep blocks Fire for the rule's duration (or until the
 	// context is cancelled), then returns nil — simulated slowness.
 	ModeSleep
+	// ModeRefuse makes Fire return a RefusedError — the network-shaped
+	// "connection refused" failure the router's dial point maps onto a
+	// dispatch failure (nothing was sent, safe to retry elsewhere).
+	ModeRefuse
+	// ModeReset makes Fire return a ResetError — the network-shaped
+	// "connection reset mid-body" failure the router's response point
+	// turns into a truncated read (bytes were received, then the peer
+	// vanished).
+	ModeReset
 )
 
 type rule struct {
 	mode Mode
 	d    time.Duration
+	// remaining bounds how many times the rule fires (nil = unlimited).
+	// A bounded rule — "refuse:2" — injects the fault on the first N
+	// Fires and then stands down, which is how the tests prove recovery:
+	// the first attempt fails, the retry succeeds.
+	remaining *atomic.Int64
 }
 
-// Set maps failure points to armed rules. A Set is immutable after
-// Parse and safe to share across goroutines.
+// Set maps failure points to armed rules. A Set is safe to share
+// across goroutines after Parse; bounded rules carry an internal
+// atomic budget, everything else is immutable.
 type Set struct {
 	rules map[string]rule
 }
 
 // Parse builds a Set from a spec like
 //
-//	"engine.atpg=panic,compile=error,engine.bmc=sleep:50ms"
+//	"engine.atpg=panic,compile=error,engine.bmc=sleep:50ms,route.dial=refuse:2"
 //
 // Grammar: comma-separated point=mode items; mode is one of error,
-// panic, hang, sleep:DURATION. Unknown points and modes are errors so
-// a typo in a test or an ops command fails loudly.
+// panic, hang, sleep:DURATION, refuse, reset (alias reset-mid-body).
+// refuse and reset take an optional :N budget — the rule fires on the
+// first N matching Fires, then disarms, so a spec can model a replica
+// that refuses twice and then recovers. Unknown points and modes are
+// errors so a typo in a test or an ops command fails loudly.
 func Parse(spec string) (*Set, error) {
 	s := &Set{rules: map[string]rule{}}
 	for _, item := range strings.Split(spec, ",") {
@@ -105,8 +133,21 @@ func Parse(spec string) (*Set, error) {
 				return nil, fmt.Errorf("faultinject: sleep duration %q: %v", arg, err)
 			}
 			r.d = d
+		case "refuse", "reset", "reset-mid-body":
+			r.mode = ModeRefuse
+			if modeName != "refuse" {
+				r.mode = ModeReset
+			}
+			if arg != "" {
+				n, err := strconv.ParseInt(arg, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faultinject: %s budget %q: want a positive integer", modeName, arg)
+				}
+				r.remaining = &atomic.Int64{}
+				r.remaining.Store(n)
+			}
 		default:
-			return nil, fmt.Errorf("faultinject: unknown mode %q (error|panic|hang|sleep:D)", modeStr)
+			return nil, fmt.Errorf("faultinject: unknown mode %q (error|panic|hang|sleep:D|refuse[:N]|reset[:N])", modeStr)
 		}
 		s.rules[point] = r
 	}
@@ -162,17 +203,40 @@ func (e *InjectedError) Error() string {
 	return fmt.Sprintf("injected fault at %s", e.Point)
 }
 
+// RefusedError is the error Fire returns in ModeRefuse: the caller
+// should behave as if the connection was refused before anything was
+// sent (for the router: the sub-request never reached the replica and
+// is safe to retry elsewhere).
+type RefusedError struct{ Point string }
+
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("injected connection refused at %s", e.Point)
+}
+
+// ResetError is the error Fire returns in ModeReset: the caller should
+// behave as if the peer reset the connection mid-body (for the router:
+// a truncated response that must be discarded and re-fetched).
+type ResetError struct{ Point string }
+
+func (e *ResetError) Error() string {
+	return fmt.Sprintf("injected connection reset at %s", e.Point)
+}
+
 // Fire triggers the named point: it returns nil instantly when
 // injection is inactive or the point is unarmed; otherwise it applies
-// the armed rule (error / panic / hang / sleep). Hang and sleep honor
-// ctx cancellation and return nil so the caller's own cancellation
-// handling runs.
+// the armed rule (error / panic / hang / sleep / refuse / reset).
+// Hang and sleep honor ctx cancellation and return nil so the caller's
+// own cancellation handling runs. A budget-bounded rule (refuse:N /
+// reset:N) stops firing once its budget is spent.
 func Fire(ctx context.Context, point string) error {
 	if !active.Load() {
 		return nil
 	}
 	r, ok := lookup(ctx, point)
 	if !ok {
+		return nil
+	}
+	if r.remaining != nil && r.remaining.Add(-1) < 0 {
 		return nil
 	}
 	switch r.mode {
@@ -191,6 +255,10 @@ func Fire(ctx context.Context, point string) error {
 		case <-ctx.Done():
 		}
 		return nil
+	case ModeRefuse:
+		return &RefusedError{Point: point}
+	case ModeReset:
+		return &ResetError{Point: point}
 	}
 	return nil
 }

@@ -86,6 +86,52 @@ func TestFireModes(t *testing.T) {
 	}
 }
 
+func TestRouteModes(t *testing.T) {
+	Activate()
+	s, err := Parse("route.dial=refuse,route.response=reset-mid-body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithSet(context.Background(), s)
+	var ref *RefusedError
+	if err := Fire(ctx, PointRouteDial); !errors.As(err, &ref) || ref.Point != PointRouteDial {
+		t.Errorf("refuse mode returned %v", err)
+	}
+	var rst *ResetError
+	if err := Fire(ctx, PointRouteResponse); !errors.As(err, &rst) || rst.Point != PointRouteResponse {
+		t.Errorf("reset mode returned %v", err)
+	}
+	// "reset" is an accepted alias for "reset-mid-body".
+	if _, err := Parse("route.response=reset"); err != nil {
+		t.Errorf("reset alias rejected: %v", err)
+	}
+}
+
+func TestBudgetedRuleDisarms(t *testing.T) {
+	Activate()
+	s, err := Parse("route.dial=refuse:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithSet(context.Background(), s)
+	for i := 0; i < 2; i++ {
+		if err := Fire(ctx, PointRouteDial); err == nil {
+			t.Fatalf("fire %d: budgeted rule did not fire", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Fire(ctx, PointRouteDial); err != nil {
+			t.Fatalf("spent rule still fired: %v", err)
+		}
+	}
+	// Budget bounds are validated at parse time.
+	for _, spec := range []string{"route.dial=refuse:0", "route.dial=refuse:-1", "route.dial=reset:x"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
 func TestGlobalSet(t *testing.T) {
 	s, _ := Parse("encode=error")
 	SetGlobal(s)

@@ -147,6 +147,13 @@ type Server struct {
 	designs  *lru.Cache[string, *designEntry]
 	adm      *limiter
 	draining atomic.Bool
+	// served counts completed (200) check responses; drainShed counts
+	// requests refused because the server was draining. Together with
+	// the limiter's rejection counter they give operators — and the
+	// cluster router's health checker — the cumulative request ledger,
+	// not just the instantaneous gauges.
+	served    atomic.Int64
+	drainShed atomic.Int64
 }
 
 // designEntry singleflights one design compilation and caches the
@@ -209,6 +216,14 @@ func (s *Server) Queued() int { return s.adm.Queued() }
 // Rejected returns how many check requests were shed by admission.
 func (s *Server) Rejected() int64 { return s.adm.Rejected() }
 
+// Served returns how many check requests completed with a 200.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Shed returns how many check requests were refused with 429 or 503:
+// admission rejections (queue full, expired while queued) plus
+// drain-time refusals.
+func (s *Server) Shed() int64 { return s.adm.Rejected() + s.drainShed.Load() }
+
 // BeginDrain flips the server into draining: new check requests are
 // refused with 503 (queued and in-flight ones complete) and /healthz
 // reports "draining". It is one-way; callers follow it with
@@ -227,17 +242,33 @@ func (s *Server) Handler() http.Handler {
 }
 
 // health is the /healthz body. The status and designs fields predate
-// the robustness layer; the rest observe admission and the bounded
-// caches.
+// the robustness layer; the admission gauges and cache counters came
+// with it; limits and the cumulative served/shed ledger exist so a
+// router (or an operator) can see a replica's capacity envelope and
+// traffic history, not just its instantaneous state.
 type health struct {
-	Status          string `json:"status"`
-	Designs         int    `json:"designs"`
-	DesignHits      int64  `json:"design_hits"`
-	DesignMisses    int64  `json:"design_misses"`
-	DesignEvictions int64  `json:"design_evictions"`
-	InFlight        int    `json:"in_flight"`
-	Queued          int    `json:"queued"`
-	Rejected        int64  `json:"rejected"`
+	Status          string       `json:"status"`
+	Designs         int          `json:"designs"`
+	DesignHits      int64        `json:"design_hits"`
+	DesignMisses    int64        `json:"design_misses"`
+	DesignEvictions int64        `json:"design_evictions"`
+	InFlight        int          `json:"in_flight"`
+	Queued          int          `json:"queued"`
+	Rejected        int64        `json:"rejected"`
+	Served          int64        `json:"served"`
+	Shed            int64        `json:"shed"`
+	Limits          healthLimits `json:"limits"`
+}
+
+// healthLimits is the replica's static capacity envelope: concurrency
+// slots, waiting-room depth, the per-request caps.
+type healthLimits struct {
+	MaxConcurrent    int   `json:"max_concurrent"`
+	MaxQueue         int   `json:"max_queue"`
+	MaxJobs          int   `json:"max_jobs"`
+	MaxDepth         int   `json:"max_depth"`
+	DefaultTimeoutMs int64 `json:"default_timeout_ms"`
+	MaxTimeoutMs     int64 `json:"max_timeout_ms"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +287,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		InFlight:        s.InFlight(),
 		Queued:          s.Queued(),
 		Rejected:        s.Rejected(),
+		Served:          s.Served(),
+		Shed:            s.Shed(),
+		Limits: healthLimits{
+			MaxConcurrent:    s.opts.MaxConcurrent,
+			MaxQueue:         s.opts.MaxQueue,
+			MaxJobs:          s.opts.MaxJobs,
+			MaxDepth:         s.opts.MaxDepth,
+			DefaultTimeoutMs: s.opts.DefaultTimeout.Milliseconds(),
+			MaxTimeoutMs:     s.opts.MaxTimeout.Milliseconds(),
+		},
 	})
 }
 
@@ -333,6 +374,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Draining() {
+		s.drainShed.Add(1)
 		s.overloaded(w, http.StatusServiceUnavailable, "draining: not accepting new work")
 		return
 	}
@@ -456,5 +498,6 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Design-Cache", "miss")
 	}
+	s.served.Add(1)
 	_, _ = w.Write(buf.Bytes())
 }

@@ -227,6 +227,55 @@ func TestServeBadRequests(t *testing.T) {
 	}
 }
 
+// TestHealthzLimitsAndLedger pins the capacity-and-ledger surface the
+// cluster router reads: /healthz reports the server's static limits
+// and the cumulative served/shed counters move with traffic.
+func TestHealthzLimitsAndLedger(t *testing.T) {
+	srv := New(Options{MaxConcurrent: 3, MaxQueue: 5, MaxDepth: 32, MaxJobs: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	getHealth := func() health {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := getHealth()
+	if h.Limits.MaxConcurrent != 3 || h.Limits.MaxQueue != 5 ||
+		h.Limits.MaxDepth != 32 || h.Limits.MaxJobs != 4 {
+		t.Errorf("limits = %+v, want 3/5/32/4", h.Limits)
+	}
+	if h.Served != 0 || h.Shed != 0 {
+		t.Errorf("fresh server ledger = served %d shed %d, want 0/0", h.Served, h.Shed)
+	}
+
+	req := CheckRequest{Design: testSrc, Top: "cnt3", Invariants: []string{"ok"}, Depth: 4}
+	if resp, body := postCheck(t, ts, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("check: %d (%s)", resp.StatusCode, body)
+	}
+	if h := getHealth(); h.Served != 1 {
+		t.Errorf("served = %d after one 200, want 1", h.Served)
+	}
+
+	// A drain-time refusal counts as shed.
+	srv.BeginDrain()
+	if resp, _ := postCheck(t, ts, req); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drain refusal: %d, want 503", resp.StatusCode)
+	}
+	if h := getHealth(); h.Shed != 1 || h.Served != 1 {
+		t.Errorf("ledger after drain refusal = served %d shed %d, want 1/1", h.Served, h.Shed)
+	}
+}
+
 func mustReq(t *testing.T, req CheckRequest) string {
 	t.Helper()
 	b, err := json.Marshal(req)
