@@ -1,14 +1,17 @@
 // Command assertd is the long-lived serving front end of the assertion
 // checker: an HTTP/JSON API over the core batch machinery, with
 // compiled designs cached (LRU-bounded) by content hash across
-// requests, admission control in front of the check workers, and a
-// graceful SIGTERM drain.
+// requests, admission control in front of the check workers, a
+// graceful SIGTERM drain, and (opt-in) crash-safe durable state so a
+// restarted server comes back warm instead of cold.
 //
 // Usage:
 //
 //	assertd [-addr :8545] [-max-jobs N] [-max-concurrent N] [-max-queue N]
 //	        [-max-depth N] [-timeout D] [-max-timeout D] [-drain-timeout D]
-//	        [-cache-designs N] [-faults]
+//	        [-cache-designs N] [-faults] [-faults-spec SPEC]
+//	        [-state-dir DIR] [-state-interval D] [-state-max-bytes N]
+//	        [-state-rewarm N] [-state-estg] [-version-tag V]
 //
 // Endpoints:
 //
@@ -28,14 +31,33 @@
 //	    `assertcheck -timeout`.
 //
 //	GET /healthz
-//	    Liveness ("ok" or "draining") plus design-cache and admission
-//	    counters.
+//	    Liveness ("ok" or "draining"), uptime and build version,
+//	    design-cache and admission counters, and the durable-state
+//	    block (snapshot inventory, quarantine/eviction counters, flush
+//	    age and last error).
+//
+// Durable state: with -state-dir the server keeps crash-safe snapshots
+// (write-to-temp + fsync + atomic rename, CRC-validated) of its
+// design-cache manifest, rewarming the cache at startup by recompiling
+// the most-recently-used designs before the listener opens — the first
+// post-restart request for a known design is a cache hit. A torn or
+// corrupt snapshot (crash mid-write, bit rot) is quarantined to
+// *.corrupt with a logged line and the server starts that state cold;
+// it never crashes, loops, or changes a verdict. -state-estg
+// additionally persists per-design learned ESTG stores so search
+// guidance accumulates across requests and restarts — this makes
+// per-request search metrics depend on traffic history (responses stay
+// correct but are no longer byte-reproducible), so it is a separate
+// opt-in.
 //
 // On SIGTERM/SIGINT the server stops admitting work (503), drains
-// in-flight batches for up to -drain-timeout, then exits.
+// in-flight batches for up to -drain-timeout, snapshots its state, and
+// exits.
 //
-// -faults enables the X-Fault-Inject request header (see
-// internal/faultinject) — degradation testing only.
+// -faults enables the X-Fault-Inject request header; -faults-spec arms
+// a process-global fault rule set (reaching flows with no request
+// context, like the state flusher) — both for degradation testing
+// only.
 package main
 
 import (
@@ -43,12 +65,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 )
 
@@ -64,8 +88,27 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "how long to drain in-flight work on SIGTERM before exiting")
 		cacheDesigns  = flag.Int("cache-designs", 0, "compiled-design cache entries (0 = 64, negative = unbounded)")
 		faults        = flag.Bool("faults", false, "enable the X-Fault-Inject header (degradation testing only)")
+		faultsSpec    = flag.String("faults-spec", "", "arm a process-global fault rule set, e.g. 'persist.write=short-write:16' (degradation testing only)")
+		stateDir      = flag.String("state-dir", "", "directory for crash-safe durable state (empty = stateless)")
+		stateInterval = flag.Duration("state-interval", 0, "periodic state flush cadence (0 = 30s)")
+		stateMaxBytes = flag.Int64("state-max-bytes", 0, "on-disk snapshot byte budget with LRU eviction (0 = 64 MiB, negative = unbounded)")
+		stateRewarm   = flag.Int("state-rewarm", 0, "most-recently-used designs recompiled at startup (0 = 16)")
+		stateESTG     = flag.Bool("state-estg", false, "persist per-design learned ESTG stores (metrics become traffic-dependent; see docs)")
+		versionTag    = flag.String("version-tag", "dev", "build version reported on /healthz")
 	)
 	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		log.Printf("assertd: "+format, args...)
+	}
+	if *faultsSpec != "" {
+		set, err := faultinject.Parse(*faultsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assertd:", err)
+			os.Exit(2)
+		}
+		faultinject.SetGlobal(set)
+	}
 
 	srv := service.New(service.Options{
 		MaxJobs:            *maxJobs,
@@ -76,7 +119,27 @@ func main() {
 		MaxTimeout:         *maxTimeout,
 		DesignCacheEntries: *cacheDesigns,
 		EnableFaults:       *faults,
+		StateDir:           *stateDir,
+		StateInterval:      *stateInterval,
+		StateMaxBytes:      *stateMaxBytes,
+		StateRewarm:        *stateRewarm,
+		StateESTG:          *stateESTG,
+		Version:            *versionTag,
+		Logf:               logf,
 	})
+	if err := srv.StateError(); err != nil {
+		fmt.Fprintln(os.Stderr, "assertd: state dir unusable:", err)
+		os.Exit(1)
+	}
+	flushCtx, stopFlusher := context.WithCancel(context.Background())
+	defer stopFlusher()
+	if srv.StateEnabled() {
+		// Warm the design cache from the manifest before the listener
+		// opens, so the first request hits.
+		srv.Rewarm(flushCtx)
+		go srv.RunStateFlusher(flushCtx)
+	}
+
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -99,7 +162,18 @@ func main() {
 		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
+		err := hs.Shutdown(ctx)
+		// Final state flush after the drain: in-flight requests have
+		// finished mutating the caches/stores by now, so this snapshot
+		// is the complete picture. Runs even when the drain expired —
+		// partial state beats none.
+		stopFlusher()
+		if srv.StateEnabled() {
+			if ferr := srv.FlushState(context.Background()); ferr != nil {
+				fmt.Fprintf(os.Stderr, "assertd: final state flush failed: %v\n", ferr)
+			}
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "assertd: drain expired, closing: %v\n", err)
 			_ = hs.Close()
 			os.Exit(1)

@@ -7,13 +7,16 @@
 //
 //	assertload -url http://localhost:8545 -design d.v -top mod \
 //	           [-invariants a,b] [-witnesses w] [-depth 16] [-jobs 4] \
-//	           [-concurrency 8] [-duration 10s] [-vary N]
+//	           [-concurrency 8] [-duration 10s] [-vary N] [-seed S]
 //
 // -vary N spreads the load over N content-distinct variants of the
 // design (a tagged comment is appended to the source, changing the
 // content hash but not the semantics), exercising the server's design
 // cache and, through assertrouter, the consistent-hash ring the way a
-// mixed-design workload would.
+// mixed-design workload would. Each worker draws its variant sequence
+// from a seeded PRNG: -seed S pins the stream so two runs offer the
+// identical variant order (per worker), and the seed actually used —
+// pinned or self-picked — is echoed in the output JSON for replay.
 //
 // Flow control is honored, not fought: a 429/503 answer counts as a
 // shed and the worker sleeps the server's Retry-After hint before its
@@ -30,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -53,6 +57,7 @@ type summary struct {
 	Concurrency   int     `json:"concurrency"`
 	DurationS     float64 `json:"duration_s"`
 	Variants      int     `json:"variants"`
+	Seed          int64   `json:"seed"`
 	Requests      int64   `json:"requests"`
 	Served        int64   `json:"served"`
 	Shed          int64   `json:"shed"`
@@ -76,6 +81,7 @@ func main() {
 		concurrency   = flag.Int("concurrency", 8, "concurrent closed-loop workers")
 		duration      = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		vary          = flag.Int("vary", 1, "spread load over N content-distinct design variants")
+		seed          = flag.Int64("seed", 0, "PRNG seed for the -vary variant stream (0 = pick one; echoed in the summary)")
 		maxRetryAfter = flag.Duration("max-retry-after", 5*time.Second, "cap on honored Retry-After hints")
 	)
 	flag.Parse()
@@ -98,8 +104,13 @@ func main() {
 	if *vary < 1 {
 		*vary = 1
 	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
 
-	// Pre-marshal one request body per variant; workers round-robin.
+	// Pre-marshal one request body per variant; each worker draws its
+	// variant order from a per-worker PRNG derived from -seed, so a
+	// pinned seed reproduces the exact offered stream.
 	bodies := make([][]byte, *vary)
 	for i := range bodies {
 		design := string(src)
@@ -139,10 +150,11 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			local := make([]time.Duration, 0, 1024)
 			var lRequests, lServed, lShed, lErrs, lHits int64
-			for i := w; ctx.Err() == nil; i++ {
-				body := bodies[i%len(bodies)]
+			for ctx.Err() == nil {
+				body := bodies[rng.Intn(len(bodies))]
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
 				if err != nil {
 					lErrs++
@@ -207,6 +219,7 @@ func main() {
 		Concurrency: *concurrency,
 		DurationS:   elapsed.Seconds(),
 		Variants:    *vary,
+		Seed:        *seed,
 		Requests:    requests,
 		Served:      served,
 		Shed:        shed,

@@ -9,9 +9,10 @@
 // Usage:
 //
 //	assertrouter -replicas http://h1:8545,http://h2:8545[,...]
-//	             [-addr :8550] [-spread N] [-hedge] [-faults]
-//	             [-health-interval D] [-breaker-cooldown D]
-//	             [-max-attempts N] [-retry-same N] [-drain-timeout D]
+//	             [-replicas-file PATH] [-addr :8550] [-spread N]
+//	             [-hedge] [-faults] [-health-interval D]
+//	             [-breaker-cooldown D] [-max-attempts N]
+//	             [-retry-same N] [-drain-timeout D] [-version-tag V]
 //
 // Failure handling (see internal/cluster): per-replica health checks
 // drive ring membership (draining and dead replicas leave the ring);
@@ -21,10 +22,20 @@
 // unanswered properties are re-sharded across the survivors. -hedge
 // additionally races slow sub-requests against the next candidate.
 //
-// GET /healthz aggregates the fleet: per-replica state, breaker
-// position and served/shed ledgers plus the router's own routing
-// counters. On SIGTERM/SIGINT the router refuses new batches (503),
-// drains in-flight scatter/gathers, then exits.
+// Membership is dynamic: SIGHUP re-reads the replica set — from
+// -replicas-file when given (one URL per line, '#' comments), else by
+// re-parsing the -replicas flag value — and diffs it into the ring.
+// Added replicas start taking new batches once healthy; removed ones
+// stop receiving new shards immediately while their in-flight shards
+// finish; kept replicas carry breaker and health state across the
+// reload. A reload that yields no usable URLs is rejected and the
+// current membership stays.
+//
+// GET /healthz aggregates the fleet: the router's own uptime/version
+// and routing counters plus per-replica state, breaker position,
+// uptime/version and served/shed ledgers. On SIGTERM/SIGINT the router
+// refuses new batches (503), drains in-flight scatter/gathers, then
+// exits.
 package main
 
 import (
@@ -42,10 +53,39 @@ import (
 	"repro/internal/cluster"
 )
 
+// parseReplicaList splits a comma- or newline-separated URL list,
+// trimming blanks, '#' comments and trailing slashes.
+func parseReplicaList(s string) []string {
+	var urls []string
+	for _, u := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == '\n' || r == '\r' }) {
+		if i := strings.IndexByte(u, '#'); i >= 0 {
+			u = u[:i]
+		}
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	return urls
+}
+
+// loadReplicas resolves the current replica set: the file wins when
+// configured, else the flag value.
+func loadReplicas(flagValue, file string) ([]string, error) {
+	if file == "" {
+		return parseReplicaList(flagValue), nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return parseReplicaList(string(data)), nil
+}
+
 func main() {
 	var (
 		addr            = flag.String("addr", ":8550", "listen address")
-		replicas        = flag.String("replicas", "", "comma-separated assertd base URLs (required)")
+		replicas        = flag.String("replicas", "", "comma-separated assertd base URLs (required unless -replicas-file)")
+		replicasFile    = flag.String("replicas-file", "", "file with one assertd base URL per line ('#' comments); re-read on SIGHUP")
 		spread          = flag.Int("spread", 0, "max replicas one batch is sharded across (0 = all healthy)")
 		maxAttempts     = flag.Int("max-attempts", 0, "replicas tried per shard before giving up (0 = 3)")
 		retrySame       = flag.Int("retry-same", 0, "same-replica retries of a shed (429/503) answer (0 = 2)")
@@ -56,17 +96,17 @@ func main() {
 		hedgeMinDelay   = flag.Duration("hedge-min-delay", 0, "floor of the p99-derived hedge delay (0 = 50ms)")
 		drainTimeout    = flag.Duration("drain-timeout", 10*time.Second, "how long to drain in-flight batches on SIGTERM before exiting")
 		faults          = flag.Bool("faults", false, "enable the X-Fault-Inject header incl. route.* points (degradation testing only)")
+		versionTag      = flag.String("version-tag", "dev", "build version reported on /healthz")
 	)
 	flag.Parse()
 
-	var urls []string
-	for _, u := range strings.Split(*replicas, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, strings.TrimRight(u, "/"))
-		}
+	urls, err := loadReplicas(*replicas, *replicasFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assertrouter:", err)
+		os.Exit(2)
 	}
 	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "assertrouter: -replicas is required (comma-separated assertd base URLs)")
+		fmt.Fprintln(os.Stderr, "assertrouter: no replicas configured (-replicas or -replicas-file)")
 		os.Exit(2)
 	}
 
@@ -81,6 +121,7 @@ func main() {
 		Hedge:           *hedge,
 		HedgeMinDelay:   *hedgeMinDelay,
 		EnableFaults:    *faults,
+		Version:         *versionTag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assertrouter:", err)
@@ -91,6 +132,26 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "assertrouter: listening on %s, %d replicas\n", *addr, len(urls))
+
+	// SIGHUP reloads the membership without touching in-flight batches.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			next, err := loadReplicas(*replicas, *replicasFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "assertrouter: reload failed: %v; keeping current membership\n", err)
+				continue
+			}
+			added, removed, err := rt.SetReplicas(next)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "assertrouter: reload rejected: %v; keeping current membership\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "assertrouter: reloaded replicas (%d total, +%d, -%d)\n",
+				len(rt.Replicas()), added, removed)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -39,14 +39,17 @@ func (s replicaState) String() string {
 }
 
 // replicaHealth is the subset of the assertd /healthz body the router
-// reads: liveness status plus the capacity/ledger fields (PR 7's
-// limits block) re-exposed on the router's own health endpoint.
+// reads: liveness status, build identity/uptime, plus the
+// capacity/ledger fields (PR 7's limits block) re-exposed on the
+// router's own health endpoint.
 type replicaHealth struct {
-	Status   string `json:"status"`
-	InFlight int    `json:"in_flight"`
-	Queued   int    `json:"queued"`
-	Served   int64  `json:"served"`
-	Shed     int64  `json:"shed"`
+	Status   string  `json:"status"`
+	Version  string  `json:"version"`
+	UptimeS  float64 `json:"uptime_s"`
+	InFlight int     `json:"in_flight"`
+	Queued   int     `json:"queued"`
+	Served   int64   `json:"served"`
+	Shed     int64   `json:"shed"`
 	Limits   struct {
 		MaxConcurrent int `json:"max_concurrent"`
 		MaxQueue      int `json:"max_queue"`
@@ -59,6 +62,9 @@ type replica struct {
 	url   string
 	state atomic.Int32
 	brk   *breaker
+	// stop ends this replica's monitor when it leaves the membership
+	// (the struct itself stays alive for in-flight shards).
+	stop chan struct{}
 	// monitor-goroutine-local streak counters.
 	consecFail int
 	consecOK   int
@@ -121,7 +127,8 @@ func fetchHealth(ctx context.Context, client *http.Client, base string) (*replic
 	return &h, nil
 }
 
-// monitor polls one replica until the router closes.
+// monitor polls one replica until the router closes or the replica is
+// removed from the membership.
 func (rt *Router) monitor(rep *replica) {
 	defer rt.wg.Done()
 	t := time.NewTicker(rt.opts.HealthInterval)
@@ -129,6 +136,8 @@ func (rt *Router) monitor(rep *replica) {
 	for {
 		select {
 		case <-rt.done:
+			return
+		case <-rep.stop:
 			return
 		case <-t.C:
 			rt.pollOnce(rt.baseCtx, rep)

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func postRouter(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(clusterReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSetReplicasAddRemove is the SIGHUP contract: swapping the
+// replica set reroutes new batches without a restart, kept replicas
+// carry their state (same structs) across the swap, and removed
+// replicas' monitors stop.
+func TestSetReplicasAddRemove(t *testing.T) {
+	want := normalizeElapsed(encodeRecords(t, referenceRecords(t)))
+	_, _, urls := newFleet(t, 3, nil)
+	rt := newTestRouter(t, urls[:2], nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	if resp, data := postRouter(t, front.URL); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+
+	// Remember the kept replica's struct so we can prove state survival.
+	var kept, removed *replica
+	for _, rep := range rt.mem.Load().replicas {
+		switch rep.url {
+		case urls[1]:
+			kept = rep
+		case urls[0]:
+			removed = rep
+		}
+	}
+
+	added, gone, err := rt.SetReplicas([]string{urls[1], urls[2]})
+	if err != nil || added != 1 || gone != 1 {
+		t.Fatalf("SetReplicas = (%d, %d, %v), want (1, 1, nil)", added, gone, err)
+	}
+	got := rt.Replicas()
+	if len(got) != 2 || got[0] != urls[1] || got[1] != urls[2] {
+		t.Fatalf("Replicas() = %v, want [%s %s]", got, urls[1], urls[2])
+	}
+	for _, rep := range rt.mem.Load().replicas {
+		if rep.url == urls[1] && rep != kept {
+			t.Fatal("kept replica was rebuilt; breaker/health state lost")
+		}
+	}
+	select {
+	case <-removed.stop:
+	default:
+		t.Fatal("removed replica's stop channel not closed")
+	}
+
+	// The new membership serves the same bytes.
+	resp, data := postRouter(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap status %d: %s", resp.StatusCode, data)
+	}
+	if normalizeElapsed(data) != want {
+		t.Fatal("post-swap response differs from single-node run")
+	}
+}
+
+func TestSetReplicasRejectsEmpty(t *testing.T) {
+	_, _, urls := newFleet(t, 1, nil)
+	rt := newTestRouter(t, urls, nil)
+	before := rt.Replicas()
+	if _, _, err := rt.SetReplicas(nil); err == nil {
+		t.Fatal("SetReplicas(nil) succeeded, want error")
+	}
+	if _, _, err := rt.SetReplicas([]string{"", ""}); err == nil {
+		t.Fatal("SetReplicas of empty URLs succeeded, want error")
+	}
+	if got := rt.Replicas(); len(got) != len(before) || got[0] != before[0] {
+		t.Fatalf("membership changed after rejected swap: %v", got)
+	}
+}
+
+func TestSetReplicasDedupes(t *testing.T) {
+	_, _, urls := newFleet(t, 1, nil)
+	rt := newTestRouter(t, urls, nil)
+	if _, _, err := rt.SetReplicas([]string{urls[0], urls[0], urls[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Replicas(); len(got) != 1 {
+		t.Fatalf("Replicas() = %v, want one entry", got)
+	}
+}
+
+// TestSetReplicasMidBatch removes a replica while a batch it serves is
+// still in flight: the shard must finish on the old membership
+// undisturbed.
+func TestSetReplicasMidBatch(t *testing.T) {
+	want := normalizeElapsed(encodeRecords(t, referenceRecords(t)))
+	release := make(chan struct{})
+	var hold sync.Once
+	_, _, urls := newFleet(t, 2, func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/check" {
+				// First shard to arrive parks until the swap happened.
+				held := false
+				hold.Do(func() { held = true })
+				if held {
+					<-release
+				}
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	rt := newTestRouter(t, urls, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	type result struct {
+		resp *http.Response
+		data []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, data := postRouter(t, front.URL)
+		done <- result{resp, data}
+	}()
+	time.Sleep(50 * time.Millisecond) // let shards dispatch
+	if _, _, err := rt.SetReplicas(urls[:1]); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	r := <-done
+	if r.resp.StatusCode != http.StatusOK {
+		t.Fatalf("mid-swap status %d: %s", r.resp.StatusCode, r.data)
+	}
+	if normalizeElapsed(r.data) != want {
+		t.Fatal("mid-swap response differs from single-node run")
+	}
+}
+
+// TestRouterHealthExposesFleetIdentity: the router's /healthz carries
+// its own uptime/version plus each replica's uptime/version learned
+// from health polls.
+func TestRouterHealthExposesFleetIdentity(t *testing.T) {
+	svc := service.New(service.Options{MaxJobs: 2, Version: "replica-build"})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	rt := newTestRouter(t, []string{ts.URL}, func(o *Options) {
+		o.Version = "router-build"
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(front.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h routerHealth
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Version != "router-build" {
+			t.Fatalf("router version = %q", h.Version)
+		}
+		if h.UptimeS < 0 {
+			t.Fatalf("router uptime_s = %v", h.UptimeS)
+		}
+		if len(h.Replicas) == 1 && h.Replicas[0].Version == "replica-build" {
+			if h.Replicas[0].UptimeS < 0 {
+				t.Fatalf("replica uptime_s = %v", h.Replicas[0].UptimeS)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica identity never surfaced: %+v", h.Replicas)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -115,6 +115,8 @@ type Options struct {
 	// (degradation testing only), including the route.* points fired
 	// inside the router's dispatch path.
 	EnableFaults bool
+	// Version is the build identifier /healthz reports (optional).
+	Version string
 	// Client overrides the HTTP client used for sub-requests and
 	// health polls (nil = a default with sane timeouts).
 	Client *http.Client
@@ -156,14 +158,30 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Router scatters check batches over the replica fleet and gathers
-// byte-identical responses. Construct with New, stop with Close.
-type Router struct {
-	opts     Options
+// membership is one immutable generation of the replica set: the ring
+// layout plus the replica structs in ring-member order. Lookups load
+// the current generation atomically; SetReplicas swaps in a new one,
+// so in-flight shards keep dispatching against the generation they
+// started with while new batches see the updated ring.
+type membership struct {
 	ring     *ring
 	replicas []*replica
-	client   *http.Client
-	lat      *latencyTracker
+}
+
+// Router scatters check batches over the replica fleet and gathers
+// byte-identical responses. Construct with New, stop with Close. The
+// replica set is dynamic: SetReplicas (assertrouter wires it to
+// SIGHUP) adds and removes replicas without a restart.
+type Router struct {
+	opts    Options
+	client  *http.Client
+	lat     *latencyTracker
+	started time.Time
+
+	// mem is the current membership generation; memMu serializes
+	// writers (SetReplicas), readers go through mem.Load().
+	mem   atomic.Pointer[membership]
+	memMu sync.Mutex
 
 	baseCtx  context.Context
 	done     chan struct{}
@@ -187,9 +205,6 @@ type Router struct {
 // a dead backend.
 func New(opts Options) (*Router, error) {
 	opts = opts.withDefaults()
-	if len(opts.Replicas) == 0 {
-		return nil, errors.New("cluster: no replicas configured")
-	}
 	if opts.EnableFaults {
 		faultinject.Activate()
 	}
@@ -199,25 +214,82 @@ func New(opts Options) (*Router, error) {
 	}
 	rt := &Router{
 		opts:    opts,
-		ring:    newRing(opts.Replicas, opts.VNodes),
 		client:  client,
 		lat:     &latencyTracker{},
+		started: time.Now(),
 		baseCtx: context.Background(),
 		done:    make(chan struct{}),
 	}
-	for _, u := range opts.Replicas {
-		rep := &replica{
-			url: u,
-			brk: newBreaker(opts.BreakerWindow, opts.BreakerThreshold,
-				opts.BreakerMinSamples, opts.BreakerCooldown),
-		}
-		rt.replicas = append(rt.replicas, rep)
+	if _, _, err := rt.SetReplicas(opts.Replicas); err != nil {
+		return nil, err
 	}
-	for _, rep := range rt.replicas {
+	return rt, nil
+}
+
+// SetReplicas swaps the replica set to urls (diffed by URL) and
+// reports how many replicas were added and removed. Kept replicas
+// carry their breaker and health state across the swap; added ones
+// start healthy with a fresh monitor; removed ones leave the ring for
+// new batches immediately while their structs stay alive, so shards
+// already dispatched against the old membership finish undisturbed
+// (their monitors stop — a removed replica's last-known state is
+// frozen, which only matters until those shards drain). An empty or
+// all-duplicate url list is rejected and the current membership stays.
+func (rt *Router) SetReplicas(urls []string) (added, removed int, err error) {
+	deduped := make([]string, 0, len(urls))
+	seen := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		deduped = append(deduped, u)
+	}
+	if len(deduped) == 0 {
+		return 0, 0, errors.New("cluster: no replicas configured")
+	}
+	rt.memMu.Lock()
+	defer rt.memMu.Unlock()
+	existing := map[string]*replica{}
+	if old := rt.mem.Load(); old != nil {
+		for _, rep := range old.replicas {
+			existing[rep.url] = rep
+		}
+	}
+	next := &membership{ring: newRing(deduped, rt.opts.VNodes)}
+	for _, u := range deduped {
+		if rep, ok := existing[u]; ok {
+			next.replicas = append(next.replicas, rep)
+			delete(existing, u)
+			continue
+		}
+		rep := &replica{
+			url:  u,
+			stop: make(chan struct{}),
+			brk: newBreaker(rt.opts.BreakerWindow, rt.opts.BreakerThreshold,
+				rt.opts.BreakerMinSamples, rt.opts.BreakerCooldown),
+		}
+		next.replicas = append(next.replicas, rep)
+		added++
 		rt.wg.Add(1)
 		go rt.monitor(rep)
 	}
-	return rt, nil
+	rt.mem.Store(next)
+	for _, rep := range existing {
+		close(rep.stop)
+		removed++
+	}
+	return added, removed, nil
+}
+
+// Replicas returns the current membership's URLs in ring-member order.
+func (rt *Router) Replicas() []string {
+	mem := rt.mem.Load()
+	out := make([]string, len(mem.replicas))
+	for i, rep := range mem.replicas {
+		out[i] = rep.url
+	}
+	return out
 }
 
 // Close stops the health monitors.
@@ -236,7 +308,7 @@ func (rt *Router) Draining() bool { return rt.draining.Load() }
 // Healthy returns how many replicas are currently routable.
 func (rt *Router) Healthy() int {
 	n := 0
-	for _, rep := range rt.replicas {
+	for _, rep := range rt.mem.Load().replicas {
 		if rep.routable() {
 			n++
 		}
@@ -412,15 +484,18 @@ func (rt *Router) Check(ctx context.Context, req *service.CheckRequest) ([]core.
 }
 
 // candidates returns the routable replicas for a design hash in ring
-// order, excluding any in skip.
+// order, excluding any in skip. The whole walk happens against one
+// membership generation, so a concurrent SetReplicas cannot hand back
+// a mixed candidate list.
 func (rt *Router) candidates(hash string, skip map[*replica]bool) []*replica {
-	walk := rt.ring.Walk(hash, func(m int) bool {
-		rep := rt.replicas[m]
+	mem := rt.mem.Load()
+	walk := mem.ring.Walk(hash, func(m int) bool {
+		rep := mem.replicas[m]
 		return rep.routable() && !skip[rep]
 	})
 	out := make([]*replica, len(walk))
 	for i, m := range walk {
-		out[i] = rt.replicas[m]
+		out[i] = mem.replicas[m]
 	}
 	return out
 }

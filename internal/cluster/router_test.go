@@ -289,9 +289,9 @@ func TestRouterAvoidsDrainingReplica(t *testing.T) {
 
 	svcs[0].BeginDrain()
 	deadline := time.Now().Add(2 * time.Second)
-	for rt.replicas[0].State() != stateDraining {
+	for rt.mem.Load().replicas[0].State() != stateDraining {
 		if time.Now().After(deadline) {
-			t.Fatalf("router never observed draining state (replica 0 = %v)", rt.replicas[0].State())
+			t.Fatalf("router never observed draining state (replica 0 = %v)", rt.mem.Load().replicas[0].State())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -337,9 +337,9 @@ func TestRouterMarksFailingReplicaDownAndRecovers(t *testing.T) {
 
 	failHost.Store(strings.TrimPrefix(urls[0], "http://"))
 	deadline := time.Now().Add(2 * time.Second)
-	for rt.replicas[0].State() != stateDown {
+	for rt.mem.Load().replicas[0].State() != stateDown {
 		if time.Now().After(deadline) {
-			t.Fatalf("replica 0 state = %v, want down", rt.replicas[0].State())
+			t.Fatalf("replica 0 state = %v, want down", rt.mem.Load().replicas[0].State())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -349,9 +349,9 @@ func TestRouterMarksFailingReplicaDownAndRecovers(t *testing.T) {
 
 	failHost.Store("")
 	deadline = time.Now().Add(2 * time.Second)
-	for rt.replicas[0].State() != stateHealthy {
+	for rt.mem.Load().replicas[0].State() != stateHealthy {
 		if time.Now().After(deadline) {
-			t.Fatalf("replica 0 state = %v, want healthy again", rt.replicas[0].State())
+			t.Fatalf("replica 0 state = %v, want healthy again", rt.mem.Load().replicas[0].State())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

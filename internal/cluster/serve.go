@@ -121,6 +121,8 @@ func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
 // routerHealth is the router's /healthz body.
 type routerHealth struct {
 	Status    string          `json:"status"`
+	Version   string          `json:"version,omitempty"`
+	UptimeS   float64         `json:"uptime_s"`
 	Healthy   int             `json:"healthy"`
 	Replicas  []replicaReport `json:"replicas"`
 	Served    int64           `json:"served"`
@@ -133,17 +135,22 @@ type routerHealth struct {
 }
 
 type replicaReport struct {
-	URL      string `json:"url"`
-	State    string `json:"state"`
-	Breaker  string `json:"breaker"`
-	InFlight int    `json:"in_flight"`
-	Queued   int    `json:"queued"`
-	Served   int64  `json:"served"`
-	Shed     int64  `json:"shed"`
+	URL      string  `json:"url"`
+	State    string  `json:"state"`
+	Breaker  string  `json:"breaker"`
+	Version  string  `json:"version,omitempty"`
+	UptimeS  float64 `json:"uptime_s"`
+	InFlight int     `json:"in_flight"`
+	Queued   int     `json:"queued"`
+	Served   int64   `json:"served"`
+	Shed     int64   `json:"shed"`
 }
 
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	mem := rt.mem.Load()
 	h := routerHealth{
+		Version:   rt.opts.Version,
+		UptimeS:   time.Since(rt.started).Seconds(),
 		Healthy:   rt.Healthy(),
 		Served:    rt.served.Load(),
 		Failed:    rt.failed.Load(),
@@ -158,18 +165,20 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		h.Status = "draining"
 	case h.Healthy == 0:
 		h.Status = "unavailable"
-	case h.Healthy < len(rt.replicas):
+	case h.Healthy < len(mem.replicas):
 		h.Status = "degraded"
 	default:
 		h.Status = "ok"
 	}
-	for _, rep := range rt.replicas {
+	for _, rep := range mem.replicas {
 		rr := replicaReport{
 			URL:     rep.url,
 			State:   rep.State().String(),
 			Breaker: rep.brk.State().String(),
 		}
 		if snap := rep.last.Load(); snap != nil {
+			rr.Version = snap.Version
+			rr.UptimeS = snap.UptimeS
 			rr.InFlight = snap.InFlight
 			rr.Queued = snap.Queued
 			rr.Served = snap.Served

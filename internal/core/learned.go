@@ -1,0 +1,185 @@
+// LearnedRegistry: per-design-hash ESTG stores that outlive a request
+// — and, given a persist backend, a process. The registry is the
+// opt-in half of durable engine state: by construction it only ever
+// changes heuristic guidance (decision ordering, polarity, cached
+// no-counterexample depths), never a verdict, but shared guidance
+// makes per-property metrics depend on what ran before, so the serving
+// layer keeps it behind a flag and the byte-identity contracts
+// (bench/serve/cluster smoke) run without it.
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/estg"
+	"repro/internal/lru"
+	"repro/internal/persist"
+)
+
+// learnedKind is the persist snapshot kind for ESTG stores.
+const learnedKind = "estg"
+
+// LearnedOptions tunes a LearnedRegistry.
+type LearnedOptions struct {
+	// Capacity bounds the resident stores (LRU; <= 0 = default).
+	// Evicting a store loses mutations since its last flush — guidance
+	// only, and the periodic flush bounds the loss.
+	Capacity int
+	// TopK bounds each snapshot to the strongest K entries per section
+	// (<= 0 = default).
+	TopK int
+	// Persist, when non-nil, backs the registry with durable snapshots:
+	// a store is rehydrated from its snapshot on first use and written
+	// back by Flush.
+	Persist *persist.Store
+	// Logf receives one line per notable event; nil discards.
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultLearnedCapacity = 256
+	defaultLearnedTopK     = 4096
+)
+
+// learnedEntry is the once-guarded resident value: the build (create +
+// rehydrate) runs exactly once per residency, concurrent first callers
+// block on the same once, and ready flips only after the store is
+// fully initialized so observers (Flush) never see a half-built one.
+type learnedEntry struct {
+	once  sync.Once
+	ready atomic.Bool
+	store *estg.Store
+	// flushedMuts is the store's mutation count at the last successful
+	// flush; Flush skips stores that haven't moved.
+	flushedMuts atomic.Uint64
+}
+
+// LearnedRegistry hands out one shared ESTG store per design
+// fingerprint. Safe for concurrent use.
+type LearnedRegistry struct {
+	opts    LearnedOptions
+	logf    func(string, ...any)
+	entries *lru.Cache[string, *learnedEntry]
+
+	rehydrations atomic.Int64
+	flushes      atomic.Int64
+	flushErrs    atomic.Int64
+}
+
+// NewLearnedRegistry returns an empty registry.
+func NewLearnedRegistry(opts LearnedOptions) *LearnedRegistry {
+	if opts.Capacity <= 0 {
+		opts.Capacity = defaultLearnedCapacity
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = defaultLearnedTopK
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &LearnedRegistry{
+		opts:    opts,
+		logf:    logf,
+		entries: lru.New[string, *learnedEntry](opts.Capacity),
+	}
+}
+
+// StoreFor returns the shared learned store for a design fingerprint,
+// creating — and, with a persist backend, rehydrating from its
+// snapshot — on first use. The build-once contract matches the design
+// caches: concurrent first callers for one fingerprint share a single
+// rehydration, and a fingerprint that was evicted and re-requested
+// rehydrates exactly once more. Rehydration failures (no snapshot,
+// quarantined corruption) start the store cold; they are never errors
+// to the caller.
+func (r *LearnedRegistry) StoreFor(ctx context.Context, fingerprint string) *estg.Store {
+	e, _ := r.entries.GetOrAdd(fingerprint, func() *learnedEntry { return &learnedEntry{} })
+	e.once.Do(func() {
+		e.store = estg.NewStore()
+		if p := r.opts.Persist; p != nil {
+			blob, err := p.Load(ctx, learnedKind, fingerprint)
+			switch {
+			case err == nil:
+				if rerr := e.store.Restore(blob); rerr != nil {
+					// The persist layer validated file integrity, so a
+					// codec-level failure means a version skew or a bug;
+					// either way: cold start.
+					r.logf("learned: snapshot for %.12s undecodable (%v); starting cold", fingerprint, rerr)
+				} else {
+					r.rehydrations.Add(1)
+					r.logf("learned: rehydrated store for %.12s", fingerprint)
+				}
+			case errors.Is(err, persist.ErrNotExist):
+				// First sighting of this design: cold by definition.
+			default:
+				// Corrupt (already quarantined and logged by persist) or
+				// unreadable: cold start.
+				r.logf("learned: snapshot load for %.12s failed (%v); starting cold", fingerprint, err)
+			}
+			// Whatever was restored is the flushed baseline.
+			e.flushedMuts.Store(e.store.Mutations())
+		}
+		e.ready.Store(true)
+	})
+	return e.store
+}
+
+// Flush snapshots every resident store that has mutated since its last
+// flush to the persist backend. It returns the number of snapshots
+// written and the first write error (later stores are still
+// attempted). A registry without a persist backend flushes nothing.
+func (r *LearnedRegistry) Flush(ctx context.Context) (int, error) {
+	p := r.opts.Persist
+	if p == nil {
+		return 0, nil
+	}
+	var written int
+	var firstErr error
+	for _, fp := range r.entries.Keys() {
+		e, ok := r.entries.Peek(fp)
+		if !ok || !e.ready.Load() {
+			continue
+		}
+		muts := e.store.Mutations()
+		if muts == e.flushedMuts.Load() {
+			continue
+		}
+		if err := p.Save(ctx, learnedKind, fp, e.store.Snapshot(r.opts.TopK)); err != nil {
+			r.flushErrs.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.flushedMuts.Store(muts)
+		written++
+		r.flushes.Add(1)
+	}
+	return written, firstErr
+}
+
+// LearnedStats is a point-in-time snapshot of the registry counters.
+type LearnedStats struct {
+	Resident     int
+	Rehydrations int64
+	Flushes      int64
+	FlushErrors  int64
+}
+
+// Stats snapshots the registry counters.
+func (r *LearnedRegistry) Stats() LearnedStats {
+	return LearnedStats{
+		Resident:     r.entries.Len(),
+		Rehydrations: r.rehydrations.Load(),
+		Flushes:      r.flushes.Load(),
+		FlushErrors:  r.flushErrs.Load(),
+	}
+}
+
+// SetCapacity rebounds the resident-store LRU (test hook and ops
+// knob); returns the previous bound.
+func (r *LearnedRegistry) SetCapacity(n int) int { return r.entries.SetCap(n) }

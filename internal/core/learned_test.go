@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+func newPersistDir(t *testing.T) *persist.Store {
+	t.Helper()
+	p, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLearnedRegistrySharesStorePerFingerprint(t *testing.T) {
+	r := NewLearnedRegistry(LearnedOptions{})
+	ctx := context.Background()
+	a := r.StoreFor(ctx, "aaaa")
+	b := r.StoreFor(ctx, "aaaa")
+	if a != b {
+		t.Fatal("same fingerprint returned distinct stores")
+	}
+	if c := r.StoreFor(ctx, "bbbb"); c == a {
+		t.Fatal("distinct fingerprints share a store")
+	}
+	a.RecordConflict("k")
+	if got := b.ConflictCount("k"); got != 1 {
+		t.Fatalf("shared store not shared: %d", got)
+	}
+}
+
+func TestLearnedRegistryPersistRoundTrip(t *testing.T) {
+	p := newPersistDir(t)
+	ctx := context.Background()
+	r1 := NewLearnedRegistry(LearnedOptions{Persist: p})
+	s := r1.StoreFor(ctx, "fp1")
+	s.RecordConflict("state-key")
+	s.RecordNoCex("prop", 3)
+	if n, err := r1.Flush(ctx); err != nil || n != 1 {
+		t.Fatalf("Flush: %d, %v", n, err)
+	}
+	// Unchanged store: second flush writes nothing.
+	if n, err := r1.Flush(ctx); err != nil || n != 0 {
+		t.Fatalf("idle Flush: %d, %v", n, err)
+	}
+
+	// A fresh registry over the same dir — the "restart".
+	r2 := NewLearnedRegistry(LearnedOptions{Persist: p})
+	warm := r2.StoreFor(ctx, "fp1")
+	if warm.ConflictCount("state-key") != 1 || !warm.KnownNoCex("prop", 3) {
+		t.Fatal("learned state lost across restart")
+	}
+	if st := r2.Stats(); st.Rehydrations != 1 {
+		t.Fatalf("rehydrations = %d, want 1", st.Rehydrations)
+	}
+	// Unknown fingerprint: cold, no error.
+	cold := r2.StoreFor(ctx, "never-seen")
+	if cold.ConflictCount("state-key") != 0 {
+		t.Fatal("cold store not empty")
+	}
+}
+
+// TestEvictRehydrateExactlyOnce is the LRU/persist interplay contract:
+// evicting a design's store whose snapshot exists on disk, then
+// re-requesting it — from many goroutines at once — must rehydrate the
+// store exactly once (singleflight + build-once, verified under
+// -race), and the rehydrated store must carry the flushed state.
+func TestEvictRehydrateExactlyOnce(t *testing.T) {
+	p := newPersistDir(t)
+	ctx := context.Background()
+	r := NewLearnedRegistry(LearnedOptions{Persist: p, Capacity: 1})
+	s := r.StoreFor(ctx, "design-a")
+	s.RecordConflict("hot-state")
+	s.RecordConflict("hot-state")
+	if _, err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Rehydrations; got != 0 {
+		t.Fatalf("premature rehydration: %d", got)
+	}
+
+	// Capacity 1: requesting design-b evicts design-a.
+	r.StoreFor(ctx, "design-b")
+
+	// Concurrent re-requests for the evicted design share one rebuild.
+	const goroutines = 16
+	stores := make([]interface{ ConflictCount(string) int }, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stores[i] = r.StoreFor(ctx, "design-a")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if stores[i] != stores[0] {
+			t.Fatal("concurrent re-requests returned distinct stores")
+		}
+	}
+	if got := stores[0].ConflictCount("hot-state"); got != 2 {
+		t.Fatalf("rehydrated store lost state: ConflictCount = %d", got)
+	}
+	if got := r.Stats().Rehydrations; got != 1 {
+		t.Fatalf("rehydrations = %d, want exactly 1", got)
+	}
+}
+
+func TestLearnedRegistryCorruptSnapshotStartsCold(t *testing.T) {
+	p := newPersistDir(t)
+	ctx := context.Background()
+	r1 := NewLearnedRegistry(LearnedOptions{Persist: p})
+	s := r1.StoreFor(ctx, "fp1")
+	s.RecordConflict("k")
+	if _, err := r1.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the snapshot with a persist-valid file whose payload is
+	// not a decodable estg snapshot: the next registry must start cold
+	// without error.
+	if err := p.Save(ctx, "estg", "fp1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewLearnedRegistry(LearnedOptions{Persist: p})
+	cold := r2.StoreFor(ctx, "fp1")
+	if cold.ConflictCount("k") != 0 {
+		t.Fatal("undecodable snapshot partially restored")
+	}
+	if st := r2.Stats(); st.Rehydrations != 0 {
+		t.Fatalf("undecodable snapshot counted as rehydration")
+	}
+}
+
+func TestLearnedRegistryNoPersistFlushIsNoop(t *testing.T) {
+	r := NewLearnedRegistry(LearnedOptions{})
+	s := r.StoreFor(context.Background(), "fp")
+	s.RecordConflict("k")
+	if n, err := r.Flush(context.Background()); n != 0 || err != nil {
+		t.Fatalf("memory-only Flush: %d, %v", n, err)
+	}
+}

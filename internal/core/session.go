@@ -186,9 +186,17 @@ func (c *Session) checkSearch(ctx context.Context, p property.Property) Result {
 	}
 	mode := atpg.ModeProve
 	target := bv.FromUint64(1, 0) // counterexample: monitor driven to 0
+	// The learned store's no-counterexample cache is keyed by property
+	// name; qualify witness searches so an invariant and a witness over
+	// the same monitor never share cache entries (an invariant's
+	// "no violation at depth d" must not make a witness search skip a
+	// depth where its witness lives). Matters once stores outlive one
+	// session (CheckAll sharing, the persistent per-design registry).
+	storeName := p.Name
 	if p.Kind == property.Witness {
 		mode = atpg.ModeWitness
 		target = bv.FromUint64(1, 1)
+		storeName = "witness\x00" + p.Name
 	}
 	var agg atpg.Stats
 	aborted := false
@@ -201,7 +209,7 @@ func (c *Session) checkSearch(ctx context.Context, p property.Property) Result {
 			aborted = true
 			break
 		}
-		if c.opts.Store != nil && c.opts.Store.KnownNoCex(p.Name, depth) {
+		if c.opts.Store != nil && c.opts.Store.KnownNoCex(storeName, depth) {
 			continue
 		}
 		limits := c.opts.Limits
@@ -254,7 +262,7 @@ func (c *Session) checkSearch(ctx context.Context, p property.Property) Result {
 			return Result{Verdict: VerdictUnknown, Depth: depth, Trace: tr, InitState: init, Stats: agg}
 		case atpg.StatusUnsat:
 			if c.opts.Store != nil {
-				c.opts.Store.RecordNoCex(p.Name, depth)
+				c.opts.Store.RecordNoCex(storeName, depth)
 			}
 			// When the monitor (and assumption) cone contains no state,
 			// one frame covers all behaviours: absence of a 1-frame

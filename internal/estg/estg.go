@@ -29,7 +29,10 @@
 // abandoned regions fade instead of steering searches forever.
 package estg
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // maxDecayShift bounds how far a stale count can be right-shifted; 31
 // epochs already take any uint32 count to zero.
@@ -69,6 +72,9 @@ type Store struct {
 	provedNoCex map[string]bool
 	// reachable caches state keys observed on validated traces.
 	reachable map[string]bool
+	// muts counts writes (see Mutations in snapshot.go); atomic so the
+	// snapshot flusher can poll it without contending for mu.
+	muts atomic.Uint64
 }
 
 // NewStore returns an empty store.
@@ -92,6 +98,7 @@ func (s *Store) RecordConflict(stateKey string) {
 	s.mu.Lock()
 	bump(s.conflicts, stateKey, s.epoch)
 	s.mu.Unlock()
+	s.muts.Add(1)
 }
 
 // ConflictCount returns how often the state dead-ended, decayed to the
@@ -118,6 +125,7 @@ func (s *Store) RecordConflictTransition(fromKey, toKey string) {
 	s.mu.Lock()
 	bump(s.transitions, fromKey+"\x00"+toKey, s.epoch)
 	s.mu.Unlock()
+	s.muts.Add(1)
 }
 
 // TransitionConflicts returns the decayed conflict count of a
@@ -144,6 +152,7 @@ func (s *Store) Decay() {
 	s.mu.Lock()
 	s.epoch++
 	s.mu.Unlock()
+	s.muts.Add(1)
 }
 
 // RecordReachable notes a state seen on a validated trace.
@@ -151,6 +160,7 @@ func (s *Store) RecordReachable(stateKey string) {
 	s.mu.Lock()
 	s.reachable[stateKey] = true
 	s.mu.Unlock()
+	s.muts.Add(1)
 }
 
 // Reachable reports whether the state was seen on a validated trace.
@@ -166,6 +176,7 @@ func (s *Store) RecordNoCex(prop string, depth int) {
 	s.mu.Lock()
 	s.provedNoCex[noCexKey(prop, depth)] = true
 	s.mu.Unlock()
+	s.muts.Add(1)
 }
 
 // KnownNoCex reports whether a no-counterexample result is cached for

@@ -1,0 +1,203 @@
+package estg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Snapshot/Restore give a Store a durable form so learned guidance can
+// survive restarts (the persist layer owns file atomicity and
+// integrity; this codec owns the in-memory ↔ bytes mapping).
+//
+// The encoding is binary, not JSON: state keys are raw bv.Key bytes
+// and are generally not valid UTF-8, which JSON would silently mangle
+// into U+FFFD replacements. Counters are exported at their *decayed*
+// value and re-based at epoch zero, so a snapshot is normalized — two
+// stores with the same effective guidance encode identically no matter
+// how many Decay calls each has seen.
+//
+// The export is bounded: topK keeps only the strongest K conflict and
+// transition entries (by decayed score, ties broken by key for
+// determinism) and the first K proof/reachable keys in sorted order.
+// Restored guidance is heuristic by contract — dropping the tail
+// changes decision ordering at worst, never a verdict.
+
+// snapshotVersion guards the estg payload layout inside a persist
+// record; bump on any encoding change.
+const snapshotVersion = 1
+
+// Snapshot serializes the store's strongest topK entries per section
+// (<= 0 = everything). Safe for concurrent use.
+func (s *Store) Snapshot(topK int) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf := make([]byte, 0, 1024)
+	buf = binary.AppendUvarint(buf, snapshotVersion)
+	buf = appendCounterSection(buf, s.conflicts, s.epoch, topK)
+	buf = appendCounterSection(buf, s.transitions, s.epoch, topK)
+	buf = appendKeySection(buf, s.provedNoCex, topK)
+	buf = appendKeySection(buf, s.reachable, topK)
+	return buf
+}
+
+// Restore merges a snapshot produced by Snapshot into the store:
+// counter entries land at their exported value unless the store
+// already holds a stronger (decayed) count, and proof/reachable keys
+// are unioned in. A structurally invalid snapshot returns an error
+// with the store unchanged — the caller starts cold.
+func (s *Store) Restore(data []byte) error {
+	v, n := binary.Uvarint(data)
+	if n <= 0 || v != snapshotVersion {
+		return fmt.Errorf("estg: snapshot version %d unsupported", v)
+	}
+	conflicts, rest, err := readCounterSection(data[n:], "conflicts")
+	if err != nil {
+		return err
+	}
+	transitions, rest, err := readCounterSection(rest, "transitions")
+	if err != nil {
+		return err
+	}
+	proofs, rest, err := readKeySection(rest, "proofs")
+	if err != nil {
+		return err
+	}
+	reachable, rest, err := readKeySection(rest, "reachable")
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("estg: snapshot has %d trailing bytes", len(rest))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mergeCounters(s.conflicts, conflicts, s.epoch)
+	mergeCounters(s.transitions, transitions, s.epoch)
+	for _, k := range proofs {
+		s.provedNoCex[k] = true
+	}
+	for _, k := range reachable {
+		s.reachable[k] = true
+	}
+	s.muts.Add(1)
+	return nil
+}
+
+func mergeCounters(dst map[string]entry, src map[string]uint32, epoch uint32) {
+	for k, c := range src {
+		if have := dst[k].value(epoch); uint32(have) >= c {
+			continue
+		}
+		dst[k] = entry{count: c, epoch: epoch}
+	}
+}
+
+// appendCounterSection encodes the topK strongest entries of a decayed
+// counter map as (count, then per entry: key, value), deterministic.
+func appendCounterSection(buf []byte, m map[string]entry, epoch uint32, topK int) []byte {
+	type kv struct {
+		key string
+		val int
+	}
+	items := make([]kv, 0, len(m))
+	for k, e := range m {
+		if v := e.value(epoch); v > 0 {
+			items = append(items, kv{k, v})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].val != items[j].val {
+			return items[i].val > items[j].val
+		}
+		return items[i].key < items[j].key
+	})
+	if topK > 0 && len(items) > topK {
+		items = items[:topK]
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(len(it.key)))
+		buf = append(buf, it.key...)
+		buf = binary.AppendUvarint(buf, uint64(it.val))
+	}
+	return buf
+}
+
+func readCounterSection(data []byte, what string) (map[string]uint32, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("estg: truncated %s count", what)
+	}
+	data = data[used:]
+	m := make(map[string]uint32, n)
+	for i := uint64(0); i < n; i++ {
+		key, rest, err := readBytes(data, what)
+		if err != nil {
+			return nil, nil, err
+		}
+		val, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("estg: truncated %s value", what)
+		}
+		m[string(key)] = uint32(val)
+		data = rest[used:]
+	}
+	return m, data, nil
+}
+
+// appendKeySection encodes up to topK keys of a set in sorted order.
+func appendKeySection(buf []byte, m map[string]bool, topK int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if topK > 0 && len(keys) > topK {
+		keys = keys[:topK]
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+func readKeySection(data []byte, what string) ([]string, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("estg: truncated %s count", what)
+	}
+	data = data[used:]
+	keys := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		key, rest, err := readBytes(data, what)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys = append(keys, string(key))
+		data = rest
+	}
+	return keys, data, nil
+}
+
+// readBytes consumes one length-prefixed byte string, validating the
+// length against the remaining data so a corrupt prefix cannot ask for
+// a huge allocation.
+func readBytes(data []byte, what string) (key, rest []byte, err error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("estg: truncated %s key length", what)
+	}
+	data = data[used:]
+	if n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("estg: %s key length %d exceeds remaining %d bytes", what, n, len(data))
+	}
+	return data[:n], data[n:], nil
+}
+
+// Mutations counts writes to the store (records, decays, restores).
+// The snapshot flusher compares it across flush cycles to skip
+// serializing stores that have not changed.
+func (s *Store) Mutations() uint64 { return s.muts.Load() }

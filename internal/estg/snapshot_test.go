@@ -1,0 +1,166 @@
+package estg
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func populated() *Store {
+	s := NewStore()
+	// Binary, non-UTF-8 keys — what bv.Key actually produces.
+	for i := 0; i < 5; i++ {
+		key := string([]byte{0xFF, 0xFE, byte(i)})
+		for j := 0; j <= i; j++ {
+			s.RecordConflict(key)
+		}
+	}
+	s.RecordConflictTransition("\xaa\x00from", "\xbb\x01to")
+	s.RecordConflictTransition("\xaa\x00from", "\xbb\x01to")
+	s.RecordReachable("\xcc\x02state")
+	s.RecordNoCex("p_safe", 4)
+	s.RecordNoCex("p_safe", 8)
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := populated()
+	blob := src.Snapshot(0)
+	dst := NewStore()
+	if err := dst.Restore(blob); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		key := string([]byte{0xFF, 0xFE, byte(i)})
+		if got, want := dst.ConflictCount(key), src.ConflictCount(key); got != want {
+			t.Errorf("conflict %d: got %d want %d", i, got, want)
+		}
+	}
+	if got := dst.TransitionConflicts("\xaa\x00from", "\xbb\x01to"); got != 2 {
+		t.Errorf("transition count: got %d want 2", got)
+	}
+	if !dst.Reachable("\xcc\x02state") {
+		t.Error("reachable key lost")
+	}
+	if !dst.KnownNoCex("p_safe", 4) || !dst.KnownNoCex("p_safe", 8) {
+		t.Error("cached proofs lost")
+	}
+	if dst.KnownNoCex("p_safe", 5) {
+		t.Error("phantom proof appeared")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	a := populated().Snapshot(0)
+	b := populated().Snapshot(0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical stores produced different snapshots")
+	}
+}
+
+func TestSnapshotNormalizedAcrossDecay(t *testing.T) {
+	// Two stores with the same effective (decayed) guidance must
+	// encode identically regardless of epoch history.
+	a := NewStore()
+	a.RecordConflict("k")
+	a.RecordConflict("k")
+	b := NewStore()
+	for i := 0; i < 4; i++ {
+		b.RecordConflict("k")
+	}
+	b.Decay() // 4 >> 1 = 2
+	if av, bv := a.ConflictCount("k"), b.ConflictCount("k"); av != bv {
+		t.Fatalf("setup: %d vs %d", av, bv)
+	}
+	if !bytes.Equal(a.Snapshot(0), b.Snapshot(0)) {
+		t.Fatal("snapshots differ despite identical decayed state")
+	}
+}
+
+func TestSnapshotTopKBounds(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key%03d", i)
+		for j := 0; j <= i; j++ {
+			s.RecordConflict(key)
+		}
+	}
+	dst := NewStore()
+	if err := dst.Restore(s.Snapshot(10)); err != nil {
+		t.Fatal(err)
+	}
+	st := dst.Stats()
+	if st.Conflicts != 10 {
+		t.Fatalf("topK=10 exported %d conflict entries", st.Conflicts)
+	}
+	// The strongest keys survive.
+	if dst.ConflictCount("key099") == 0 || dst.ConflictCount("key090") == 0 {
+		t.Error("strongest entries missing from bounded export")
+	}
+	if dst.ConflictCount("key000") != 0 {
+		t.Error("weakest entry survived bounded export")
+	}
+}
+
+func TestRestoreMergeKeepsStrongerLocal(t *testing.T) {
+	remote := NewStore()
+	remote.RecordConflict("k") // snapshot value 1
+	blob := remote.Snapshot(0)
+	local := NewStore()
+	for i := 0; i < 5; i++ {
+		local.RecordConflict("k")
+	}
+	if err := local.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := local.ConflictCount("k"); got != 5 {
+		t.Fatalf("restore weakened local count: %d", got)
+	}
+}
+
+// TestRestoreRejectsMalformed is the codec half of the crash-safety
+// property: every truncation of a valid snapshot blob either restores
+// a prefix-consistent subset or errors — never panics.
+func TestRestoreRejectsMalformed(t *testing.T) {
+	blob := populated().Snapshot(0)
+	for n := 0; n < len(blob); n++ {
+		dst := NewStore()
+		if err := dst.Restore(blob[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	// Trailing garbage is rejected too.
+	dst := NewStore()
+	if err := dst.Restore(append(append([]byte(nil), blob...), 0x00)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// Bad version.
+	if err := NewStore().Restore([]byte{0x7F}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Huge length prefix must not allocate/panic.
+	bad := []byte{snapshotVersion, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	if err := NewStore().Restore(bad); err == nil {
+		t.Fatal("huge length prefix accepted")
+	}
+}
+
+func TestMutationsCounter(t *testing.T) {
+	s := NewStore()
+	if s.Mutations() != 0 {
+		t.Fatal("fresh store has mutations")
+	}
+	s.RecordConflict("k")
+	s.RecordReachable("r")
+	s.RecordNoCex("p", 1)
+	s.Decay()
+	s.RecordConflictTransition("a", "b")
+	if got := s.Mutations(); got != 5 {
+		t.Fatalf("Mutations = %d, want 5", got)
+	}
+	before := s.Mutations()
+	_ = s.ConflictCount("k") // reads don't count
+	if s.Mutations() != before {
+		t.Fatal("read bumped the mutation counter")
+	}
+}

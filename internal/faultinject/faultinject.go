@@ -39,6 +39,14 @@ const (
 	// injectable without a real network partition.
 	PointRouteDial     = "route.dial"     // sub-request dispatch to a replica
 	PointRouteResponse = "route.response" // replica response body read
+
+	// The disk-shaped points the persist snapshot store exposes: the
+	// atomic snapshot write and the snapshot read-back. Together with
+	// the short-write/corrupt modes they make torn files and bit rot
+	// injectable, so the recovery paths (quarantine + cold start) are
+	// testable without pulling power mid-fsync.
+	PointPersistWrite = "persist.write" // snapshot file write
+	PointPersistRead  = "persist.read"  // snapshot file read-back
 )
 
 // Points lists every named failure point (the degrade test matrix).
@@ -47,6 +55,7 @@ var Points = []string{
 	PointEngineATPG, PointEngineBMC, PointEngineBDD,
 	PointEncode,
 	PointRouteDial, PointRouteResponse,
+	PointPersistWrite, PointPersistRead,
 }
 
 // Mode is what an armed point does when fired.
@@ -73,11 +82,23 @@ const (
 	// turns into a truncated read (bytes were received, then the peer
 	// vanished).
 	ModeReset
+	// ModeShortWrite makes Fire return a ShortWriteError carrying a
+	// byte count — the disk-shaped "process died mid-write" failure the
+	// persist store turns into a file truncated at N bytes, exactly the
+	// artifact a SIGKILL between write() and fsync leaves behind.
+	ModeShortWrite
+	// ModeCorrupt makes Fire return a CorruptError — the disk-shaped
+	// "bit rot" failure the persist store turns into a flipped byte in
+	// the data it just read, which the CRC layer must catch.
+	ModeCorrupt
 )
 
 type rule struct {
 	mode Mode
 	d    time.Duration
+	// n is the byte count of a short-write rule: the write is truncated
+	// after n bytes of the encoded snapshot.
+	n int
 	// remaining bounds how many times the rule fires (nil = unlimited).
 	// A bounded rule — "refuse:2" — injects the fault on the first N
 	// Fires and then stands down, which is how the tests prove recovery:
@@ -146,8 +167,25 @@ func Parse(spec string) (*Set, error) {
 				r.remaining = &atomic.Int64{}
 				r.remaining.Store(n)
 			}
+		case "short-write":
+			r.mode = ModeShortWrite
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: short-write byte count %q: want a non-negative integer", arg)
+			}
+			r.n = n
+		case "corrupt":
+			r.mode = ModeCorrupt
+			if arg != "" {
+				n, err := strconv.ParseInt(arg, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("faultinject: corrupt budget %q: want a positive integer", arg)
+				}
+				r.remaining = &atomic.Int64{}
+				r.remaining.Store(n)
+			}
 		default:
-			return nil, fmt.Errorf("faultinject: unknown mode %q (error|panic|hang|sleep:D|refuse[:N]|reset[:N])", modeStr)
+			return nil, fmt.Errorf("faultinject: unknown mode %q (error|panic|hang|sleep:D|refuse[:N]|reset[:N]|short-write:BYTES|corrupt[:N])", modeStr)
 		}
 		s.rules[point] = r
 	}
@@ -222,9 +260,34 @@ func (e *ResetError) Error() string {
 	return fmt.Sprintf("injected connection reset at %s", e.Point)
 }
 
+// ShortWriteError is the error Fire returns in ModeShortWrite: the
+// caller should behave as if the process died after writing the first
+// N bytes — for the persist store, truncate the encoded snapshot at N
+// bytes so the torn file a crash leaves behind lands on disk
+// deterministically.
+type ShortWriteError struct {
+	Point string
+	N     int
+}
+
+func (e *ShortWriteError) Error() string {
+	return fmt.Sprintf("injected short write at %s (%d bytes)", e.Point, e.N)
+}
+
+// CorruptError is the error Fire returns in ModeCorrupt: the caller
+// should behave as if the bytes it just read rotted on disk — for the
+// persist store, flip a byte before validation so the CRC layer is
+// exercised.
+type CorruptError struct{ Point string }
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("injected corruption at %s", e.Point)
+}
+
 // Fire triggers the named point: it returns nil instantly when
 // injection is inactive or the point is unarmed; otherwise it applies
-// the armed rule (error / panic / hang / sleep / refuse / reset).
+// the armed rule (error / panic / hang / sleep / refuse / reset /
+// short-write / corrupt).
 // Hang and sleep honor ctx cancellation and return nil so the caller's
 // own cancellation handling runs. A budget-bounded rule (refuse:N /
 // reset:N) stops firing once its budget is spent.
@@ -259,6 +322,10 @@ func Fire(ctx context.Context, point string) error {
 		return &RefusedError{Point: point}
 	case ModeReset:
 		return &ResetError{Point: point}
+	case ModeShortWrite:
+		return &ShortWriteError{Point: point, N: r.n}
+	case ModeCorrupt:
+		return &CorruptError{Point: point}
 	}
 	return nil
 }

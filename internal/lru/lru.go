@@ -98,6 +98,33 @@ func (c *Cache[K, V]) GetOrAdd(key K, make func() V) (v V, loaded bool) {
 	return c.head.next.val, false
 }
 
+// Peek returns the value for key without touching recency or the
+// hit/miss counters — for observers (snapshot flushers, health
+// reports) that must not perturb eviction order.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Keys returns the resident keys in recency order, most recently used
+// first — the order a warm-restart manifest wants to preserve. Like
+// Peek it does not touch recency or counters.
+func (c *Cache[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]K, 0, len(c.entries))
+	for n := c.head.next; n != &c.head; n = n.next {
+		keys = append(keys, n.key)
+	}
+	return keys
+}
+
 // Add inserts or replaces the value for key, marking it most recently
 // used and evicting if the cache is over capacity.
 func (c *Cache[K, V]) Add(key K, val V) {

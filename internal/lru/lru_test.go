@@ -117,3 +117,28 @@ func TestConcurrentMixedOps(t *testing.T) {
 		t.Errorf("len = %d exceeds cap 16", c.Len())
 	}
 }
+
+func TestPeekAndKeysDoNotPerturbRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	// Peek "a" must NOT make it recent; adding c evicts it anyway.
+	if v, ok := c.Peek("a"); !ok || v != 1 {
+		t.Fatalf("Peek(a) = %d,%v", v, ok)
+	}
+	if got := c.Keys(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("Keys = %v, want [b a] (MRU first)", got)
+	}
+	before := c.Stats()
+	c.Add("c", 3)
+	if _, ok := c.Peek("a"); ok {
+		t.Error("Peek made a recent — it survived eviction")
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Error("Peek/Keys touched the hit/miss counters")
+	}
+	if _, ok := c.Peek("zzz"); ok {
+		t.Error("Peek invented an entry")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/lru"
 	"repro/internal/mc"
+	"repro/internal/persist"
 	"repro/internal/property"
 )
 
@@ -84,6 +85,30 @@ type Options struct {
 	// into request-scoped internal/faultinject rules). For degradation
 	// testing only — never enable it on a production server.
 	EnableFaults bool
+	// StateDir, when non-empty, roots the crash-safe durable-state store
+	// (design-cache manifest; plus learned ESTG snapshots with
+	// StateESTG). An unopenable dir is reported by StateError, not New.
+	StateDir string
+	// StateInterval is the periodic flush cadence (0 = 30s).
+	StateInterval time.Duration
+	// StateMaxBytes caps the on-disk snapshot bytes, LRU-evicting old
+	// snapshots (0 = 64 MiB, < 0 = unbounded).
+	StateMaxBytes int64
+	// StateRewarm bounds how many MRU designs the manifest records and
+	// Rewarm recompiles at startup (0 = 16).
+	StateRewarm int
+	// StateESTG opts into the per-design-hash persistent ESTG registry:
+	// learned guidance is shared across requests and restarts. Verdicts
+	// are unaffected by construction, but search metrics (implications,
+	// decisions) come to depend on accumulated state — which breaks the
+	// byte-identity serving contracts — so it is off by default and
+	// requires StateDir.
+	StateESTG bool
+	// Version is the build identifier /healthz reports (optional).
+	Version string
+	// Logf receives serving-layer log lines (state recovery, flush
+	// failures); nil discards.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +132,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DesignCacheEntries == 0 {
 		o.DesignCacheEntries = 64
+	}
+	if o.StateInterval == 0 {
+		o.StateInterval = 30 * time.Second
+	}
+	if o.StateMaxBytes == 0 {
+		o.StateMaxBytes = 64 << 20
+	}
+	if o.StateRewarm == 0 {
+		o.StateRewarm = 16
 	}
 	return o
 }
@@ -154,6 +188,22 @@ type Server struct {
 	// not just the instantaneous gauges.
 	served    atomic.Int64
 	drainShed atomic.Int64
+	started   time.Time
+	logf      func(string, ...any)
+
+	// Durable state (state.go): nil state = disabled. stateErr records
+	// why a requested StateDir could not open.
+	state    *persist.Store
+	stateErr error
+	learned  *core.LearnedRegistry
+
+	// Manifest change tracking (in-process only, so a restarted
+	// server's first flush always writes) and the last-flush telemetry
+	// /healthz reports.
+	manifestMu    sync.Mutex
+	lastManifest  string
+	lastFlushNano atomic.Int64
+	lastFlushErr  atomic.Pointer[string]
 }
 
 // designEntry singleflights one design compilation and caches the
@@ -166,9 +216,15 @@ type designEntry struct {
 	done atomic.Bool
 	d    *core.Design
 	err  error
+	// src/top are kept for the warm-restart manifest: an entry's source
+	// must be re-compilable after a restart, so the manifest stores it.
+	src, top string
 }
 
-// New returns a server with an empty design cache.
+// New returns a server with an empty design cache. With StateDir set
+// it also opens the durable-state store; an open failure is latched in
+// StateError rather than returned, so callers decide whether a server
+// without its state dir may run (assertd refuses).
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	if opts.EnableFaults {
@@ -178,11 +234,33 @@ func New(opts Options) *Server {
 	if cap < 0 {
 		cap = 0 // lru: <=0 means unbounded
 	}
-	return &Server{
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
 		opts:    opts,
 		designs: lru.New[string, *designEntry](cap),
 		adm:     newLimiter(opts.MaxConcurrent, opts.MaxQueue),
+		started: time.Now(),
+		logf:    logf,
 	}
+	if opts.StateDir != "" {
+		maxBytes := opts.StateMaxBytes
+		if maxBytes < 0 {
+			maxBytes = 0 // persist: <=0 means unbounded
+		}
+		st, err := persist.Open(opts.StateDir, persist.Options{MaxBytes: maxBytes, Logf: logf})
+		if err != nil {
+			s.stateErr = err
+			return s
+		}
+		s.state = st
+		if opts.StateESTG {
+			s.learned = core.NewLearnedRegistry(core.LearnedOptions{Persist: st, Logf: logf})
+		}
+	}
+	return s
 }
 
 // design returns the compiled design for a source, compiling it at
@@ -192,7 +270,7 @@ func New(opts Options) *Server {
 // request that blocks on another request's in-flight build is a miss.
 func (s *Server) design(src, top string) (d *core.Design, hit bool, err error) {
 	key := core.Fingerprint(src, top)
-	e, loaded := s.designs.GetOrAdd(key, func() *designEntry { return &designEntry{} })
+	e, loaded := s.designs.GetOrAdd(key, func() *designEntry { return &designEntry{src: src, top: top} })
 	hit = loaded && e.done.Load()
 	e.once.Do(func() {
 		e.d, e.err = core.CompileVerilog(src, top)
@@ -248,6 +326,8 @@ func (s *Server) Handler() http.Handler {
 // traffic history, not just its instantaneous state.
 type health struct {
 	Status          string       `json:"status"`
+	Version         string       `json:"version,omitempty"`
+	UptimeS         float64      `json:"uptime_s"`
 	Designs         int          `json:"designs"`
 	DesignHits      int64        `json:"design_hits"`
 	DesignMisses    int64        `json:"design_misses"`
@@ -258,6 +338,7 @@ type health struct {
 	Served          int64        `json:"served"`
 	Shed            int64        `json:"shed"`
 	Limits          healthLimits `json:"limits"`
+	State           healthState  `json:"state"`
 }
 
 // healthLimits is the replica's static capacity envelope: concurrency
@@ -280,6 +361,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(health{
 		Status:          status,
+		Version:         s.opts.Version,
+		UptimeS:         time.Since(s.started).Seconds(),
 		Designs:         st.Len,
 		DesignHits:      st.Hits,
 		DesignMisses:    st.Misses,
@@ -297,6 +380,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			DefaultTimeoutMs: s.opts.DefaultTimeout.Milliseconds(),
 			MaxTimeoutMs:     s.opts.MaxTimeout.Milliseconds(),
 		},
+		State: s.stateHealth(),
 	})
 }
 
@@ -444,6 +528,13 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		// Baseline engines never read the ATPG-side session state.
 		opts.DisableLocalFSM = true
 		opts.DisableLearnedStore = true
+	} else if s.learned != nil {
+		// Opt-in persistent learned store: every ATPG-path request for
+		// this design shares (and durably accumulates) one ESTG store.
+		// Guidance only — the gate exists because shared state makes the
+		// search metrics depend on traffic history, which the ungated
+		// byte-identity contracts forbid.
+		opts.Store = s.learned.StoreFor(ctx, core.Fingerprint(req.Design, req.Top))
 	}
 	if err := faultinject.Fire(ctx, faultinject.PointSession); err != nil {
 		httpError(w, http.StatusInternalServerError, "session: %v", err)
