@@ -9,7 +9,7 @@
 //
 //	assertd [-addr :8545] [-max-jobs N] [-max-concurrent N] [-max-queue N]
 //	        [-max-depth N] [-timeout D] [-max-timeout D] [-drain-timeout D]
-//	        [-cache-designs N] [-faults] [-faults-spec SPEC]
+//	        [-cache-designs N] [-cache-verdicts N] [-faults] [-faults-spec SPEC]
 //	        [-state-dir DIR] [-state-interval D] [-state-max-bytes N]
 //	        [-state-rewarm N] [-state-estg] [-version-tag V]
 //
@@ -24,7 +24,11 @@
 //	    `assertcheck -json` prints — byte-identical schema, so the two
 //	    front ends are interchangeable. The X-Design-Cache response
 //	    header reports whether the design compile was served from the
-//	    content-hash cache ("hit") or performed ("miss").
+//	    content-hash cache ("hit") or performed ("miss"); the
+//	    X-Verdict-Cache header ("hits=K misses=M") reports how many
+//	    per-property verdicts were replayed from the cone-keyed verdict
+//	    cache instead of re-verified — replayed records are byte-identical
+//	    to the original run, including elapsed_ns and search metrics.
 //	    Overload surfaces as 429 + Retry-After (admission queue full),
 //	    draining as 503 + Retry-After; an expired request budget
 //	    surfaces as unknown-verdict records, mirroring
@@ -43,7 +47,9 @@
 // post-restart request for a known design is a cache hit. A torn or
 // corrupt snapshot (crash mid-write, bit rot) is quarantined to
 // *.corrupt with a logged line and the server starts that state cold;
-// it never crashes, loops, or changes a verdict. -state-estg
+// it never crashes, loops, or changes a verdict. The cone-keyed
+// verdict cache (see -cache-verdicts) persists alongside the manifest,
+// so cached verdicts survive restarts — including crashes. -state-estg
 // additionally persists per-design learned ESTG stores so search
 // guidance accumulates across requests and restarts — this makes
 // per-request search metrics depend on traffic history (responses stay
@@ -87,6 +93,7 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 0, "ceiling on per-request timeout overrides (0 = none)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "how long to drain in-flight work on SIGTERM before exiting")
 		cacheDesigns  = flag.Int("cache-designs", 0, "compiled-design cache entries (0 = 64, negative = unbounded)")
+		cacheVerdicts = flag.Int("cache-verdicts", 0, "cone-keyed verdict cache entries (0 = 4096, negative = disabled); forced off under -state-estg")
 		faults        = flag.Bool("faults", false, "enable the X-Fault-Inject header (degradation testing only)")
 		faultsSpec    = flag.String("faults-spec", "", "arm a process-global fault rule set, e.g. 'persist.write=short-write:16' (degradation testing only)")
 		stateDir      = flag.String("state-dir", "", "directory for crash-safe durable state (empty = stateless)")
@@ -111,21 +118,22 @@ func main() {
 	}
 
 	srv := service.New(service.Options{
-		MaxJobs:            *maxJobs,
-		MaxConcurrent:      *maxConcurrent,
-		MaxQueue:           *maxQueue,
-		MaxDepth:           *maxDepth,
-		DefaultTimeout:     *timeout,
-		MaxTimeout:         *maxTimeout,
-		DesignCacheEntries: *cacheDesigns,
-		EnableFaults:       *faults,
-		StateDir:           *stateDir,
-		StateInterval:      *stateInterval,
-		StateMaxBytes:      *stateMaxBytes,
-		StateRewarm:        *stateRewarm,
-		StateESTG:          *stateESTG,
-		Version:            *versionTag,
-		Logf:               logf,
+		MaxJobs:             *maxJobs,
+		MaxConcurrent:       *maxConcurrent,
+		MaxQueue:            *maxQueue,
+		MaxDepth:            *maxDepth,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		DesignCacheEntries:  *cacheDesigns,
+		VerdictCacheEntries: *cacheVerdicts,
+		EnableFaults:        *faults,
+		StateDir:            *stateDir,
+		StateInterval:       *stateInterval,
+		StateMaxBytes:       *stateMaxBytes,
+		StateRewarm:         *stateRewarm,
+		StateESTG:           *stateESTG,
+		Version:             *versionTag,
+		Logf:                logf,
 	})
 	if err := srv.StateError(); err != nil {
 		fmt.Fprintln(os.Stderr, "assertd: state dir unusable:", err)

@@ -7,7 +7,8 @@
 //
 //	assertload -url http://localhost:8545 -design d.v -top mod \
 //	           [-invariants a,b] [-witnesses w] [-depth 16] [-jobs 4] \
-//	           [-concurrency 8] [-duration 10s] [-vary N] [-seed S]
+//	           [-concurrency 8] [-duration 10s] [-vary N] [-seed S] \
+//	           [-churn N]
 //
 // -vary N spreads the load over N content-distinct variants of the
 // design (a tagged comment is appended to the source, changing the
@@ -24,6 +25,19 @@
 // for. The summary reports served/shed/error counts, p50/p90/p99
 // latency of served requests, throughput and the design-cache hit
 // count.
+//
+// -churn N switches to edit-churn mode, a sequential scenario that
+// measures the server's cone-granular verdict cache instead of raw
+// throughput: one cold POST of the design, one unedited resubmit, then
+// N iterations that each rewrite the integer literal on one
+// `// churn:`-tagged source line (round-robin over the tags, always
+// editing the pristine source — edits do not accumulate) and resubmit.
+// Each warm response's X-Verdict-Cache header and per-record bytes are
+// compared against the cold baseline: records outside the edited cone
+// must replay byte-identically, and the fresh work per resubmit (the
+// implications of the changed records) is reported against the cold
+// total as implication_ratio. Exits non-zero if any supposedly
+// untouched record changed.
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -83,6 +98,7 @@ func main() {
 		vary          = flag.Int("vary", 1, "spread load over N content-distinct design variants")
 		seed          = flag.Int64("seed", 0, "PRNG seed for the -vary variant stream (0 = pick one; echoed in the summary)")
 		maxRetryAfter = flag.Duration("max-retry-after", 5*time.Second, "cap on honored Retry-After hints")
+		churn         = flag.Int("churn", 0, "edit-churn mode: N sequential one-line-edit resubmits measuring the verdict cache (0 = load mode)")
 	)
 	flag.Parse()
 
@@ -100,6 +116,9 @@ func main() {
 	if len(inv)+len(wit) == 0 {
 		fmt.Fprintln(os.Stderr, "assertload: need at least one -invariants or -witnesses name")
 		os.Exit(2)
+	}
+	if *churn > 0 {
+		os.Exit(runChurn(*url, string(src), *top, inv, wit, *depth, *jobs, *churn))
 	}
 	if *vary < 1 {
 		*vary = 1
@@ -261,4 +280,212 @@ func quantileMs(sorted []time.Duration, q float64) float64 {
 	}
 	idx := int(q * float64(len(sorted)-1))
 	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// churnSummary is the edit-churn mode's output JSON.
+type churnSummary struct {
+	Target     string `json:"target"`
+	Mode       string `json:"mode"`
+	Iterations int    `json:"iterations"`
+	Properties int    `json:"properties"`
+	ChurnSites int    `json:"churn_sites"`
+	// Cold baseline: full verification of every property.
+	ColdImplications int64   `json:"cold_implications"`
+	ColdMs           float64 `json:"cold_ms"`
+	// Unedited resubmit: must replay every record byte-identically.
+	RepeatIdentical bool `json:"repeat_identical"`
+	// Warm one-edit resubmits. Fresh implications per iteration are the
+	// implications of the records whose bytes changed vs the cold
+	// baseline — replayed records are byte-identical, so a changed
+	// record is exactly a re-verified one.
+	WarmFreshImplicationsAvg float64 `json:"warm_fresh_implications_avg"`
+	WarmMsAvg                float64 `json:"warm_ms_avg"`
+	ImplicationRatio         float64 `json:"implication_ratio"`
+	VerdictHits              int64   `json:"verdict_hits"`
+	VerdictMisses            int64   `json:"verdict_misses"`
+	VerdictHitRate           float64 `json:"verdict_hit_rate"`
+	ChangedRecords           int64   `json:"changed_records"`
+	// True when every warm iteration changed no more records than the
+	// server reported as cache misses — i.e. nothing outside the edited
+	// cone was perturbed.
+	UntouchedRecordsIdentical bool `json:"untouched_records_identical"`
+}
+
+// churnLit matches the sized decimal literal on a churn-tagged line.
+var churnLit = regexp.MustCompile(`(\d+)'d(\d+)`)
+
+// runChurn drives the sequential edit-churn scenario and returns the
+// process exit code.
+func runChurn(url, src, top string, inv, wit []string, depth, jobs, iterations int) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "assertload: "+format+"\n", args...)
+		return 1
+	}
+	lines := strings.Split(src, "\n")
+	var sites []int
+	for i, l := range lines {
+		if strings.Contains(l, "// churn:") && churnLit.MatchString(l) {
+			sites = append(sites, i)
+		}
+	}
+	if len(sites) == 0 {
+		return fail("-churn needs at least one '// churn:'-tagged line with a sized decimal literal in the design")
+	}
+	endpoint := strings.TrimRight(url, "/") + "/v1/check"
+	client := &http.Client{}
+	marshal := func(design string) []byte {
+		b, err := json.Marshal(checkRequest{
+			Design: design, Top: top,
+			Invariants: inv, Witnesses: wit,
+			Depth: depth, Jobs: jobs,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+
+	cold, err := postChurn(client, endpoint, marshal(src))
+	if err != nil {
+		return fail("cold request: %v", err)
+	}
+	var coldImpl int64
+	for _, r := range cold.records {
+		coldImpl += r.impl
+	}
+
+	repeat, err := postChurn(client, endpoint, marshal(src))
+	if err != nil {
+		return fail("repeat request: %v", err)
+	}
+	repeatIdentical := len(repeat.records) == len(cold.records)
+	for i := range repeat.records {
+		if !repeatIdentical || !bytes.Equal(repeat.records[i].raw, cold.records[i].raw) {
+			repeatIdentical = false
+			break
+		}
+	}
+
+	s := churnSummary{
+		Target:     url,
+		Mode:       "churn",
+		Iterations: iterations,
+		Properties: len(cold.records),
+		ChurnSites: len(sites),
+
+		ColdImplications:          coldImpl,
+		ColdMs:                    float64(cold.elapsed) / float64(time.Millisecond),
+		RepeatIdentical:           repeatIdentical,
+		UntouchedRecordsIdentical: true,
+	}
+	var warmFresh, warmMs float64
+	for it := 1; it <= iterations; it++ {
+		// Always edit the pristine source: one edit per request, not a
+		// growing diff.
+		line := sites[(it-1)%len(sites)]
+		edited := append([]string(nil), lines...)
+		edited[line] = churnLit.ReplaceAllStringFunc(edited[line], func(m string) string {
+			g := churnLit.FindStringSubmatch(m)
+			return fmt.Sprintf("%s'd%d", g[1], it%250+1)
+		})
+		warm, err := postChurn(client, endpoint, marshal(strings.Join(edited, "\n")))
+		if err != nil {
+			return fail("churn iteration %d: %v", it, err)
+		}
+		if warm.hits < 0 {
+			return fail("no X-Verdict-Cache header on iteration %d: is the server's verdict cache enabled?", it)
+		}
+		if len(warm.records) != len(cold.records) {
+			return fail("churn iteration %d: %d records, cold had %d", it, len(warm.records), len(cold.records))
+		}
+		var changed, fresh int64
+		for i, r := range warm.records {
+			if !bytes.Equal(r.raw, cold.records[i].raw) {
+				changed++
+				fresh += r.impl
+			}
+		}
+		if changed > warm.misses {
+			s.UntouchedRecordsIdentical = false
+		}
+		s.VerdictHits += warm.hits
+		s.VerdictMisses += warm.misses
+		s.ChangedRecords += changed
+		warmFresh += float64(fresh)
+		warmMs += float64(warm.elapsed) / float64(time.Millisecond)
+	}
+	s.WarmFreshImplicationsAvg = warmFresh / float64(iterations)
+	s.WarmMsAvg = warmMs / float64(iterations)
+	if s.WarmFreshImplicationsAvg > 0 {
+		s.ImplicationRatio = float64(coldImpl) / s.WarmFreshImplicationsAvg
+	} else {
+		s.ImplicationRatio = float64(coldImpl)
+	}
+	if total := s.VerdictHits + s.VerdictMisses; total > 0 {
+		s.VerdictHitRate = float64(s.VerdictHits) / float64(total)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fail("%v", err)
+	}
+	if !s.UntouchedRecordsIdentical || !repeatIdentical {
+		return 1
+	}
+	return 0
+}
+
+// churnResponse is one /v1/check answer with per-record raw bytes kept
+// for byte-identity comparison.
+type churnResponse struct {
+	records []churnRecord
+	hits    int64 // -1 when the X-Verdict-Cache header was absent
+	misses  int64
+	elapsed time.Duration
+}
+
+type churnRecord struct {
+	raw  json.RawMessage
+	impl int64
+}
+
+func postChurn(client *http.Client, endpoint string, body []byte) (*churnResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	out := &churnResponse{hits: -1, misses: -1, elapsed: time.Since(t0)}
+	if h := resp.Header.Get("X-Verdict-Cache"); h != "" {
+		if _, err := fmt.Sscanf(h, "hits=%d misses=%d", &out.hits, &out.misses); err != nil {
+			return nil, fmt.Errorf("bad X-Verdict-Cache header %q", h)
+		}
+	}
+	var raws []json.RawMessage
+	if err := json.Unmarshal(data, &raws); err != nil {
+		return nil, fmt.Errorf("bad response body: %v", err)
+	}
+	for _, r := range raws {
+		var rec struct {
+			Implications int64 `json:"implications"`
+		}
+		if err := json.Unmarshal(r, &rec); err != nil {
+			return nil, fmt.Errorf("bad record: %v", err)
+		}
+		out.records = append(out.records, churnRecord{raw: r, impl: rec.Implications})
+	}
+	return out, nil
 }

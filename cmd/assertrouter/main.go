@@ -4,13 +4,16 @@
 // hash of the design content (keeping every replica's compiled-design
 // cache hot for its slice of the design space) and reassembles the
 // input-ordered response — byte-identical to a single replica's answer
-// modulo elapsed_ns.
+// modulo elapsed_ns. Batches with fewer properties than -scatter-min
+// skip the scatter/gather machinery and route whole to the design's
+// primary replica: on tiny batches the per-sub-request overhead costs
+// more than the parallelism buys.
 //
 // Usage:
 //
 //	assertrouter -replicas http://h1:8545,http://h2:8545[,...]
 //	             [-replicas-file PATH] [-addr :8550] [-spread N]
-//	             [-hedge] [-faults] [-health-interval D]
+//	             [-scatter-min N] [-hedge] [-faults] [-health-interval D]
 //	             [-breaker-cooldown D] [-max-attempts N]
 //	             [-retry-same N] [-drain-timeout D] [-version-tag V]
 //
@@ -87,6 +90,7 @@ func main() {
 		replicas        = flag.String("replicas", "", "comma-separated assertd base URLs (required unless -replicas-file)")
 		replicasFile    = flag.String("replicas-file", "", "file with one assertd base URL per line ('#' comments); re-read on SIGHUP")
 		spread          = flag.Int("spread", 0, "max replicas one batch is sharded across (0 = all healthy)")
+		scatterMin      = flag.Int("scatter-min", 4, "batches with fewer properties route whole to the primary replica instead of sharding (0 = always shard)")
 		maxAttempts     = flag.Int("max-attempts", 0, "replicas tried per shard before giving up (0 = 3)")
 		retrySame       = flag.Int("retry-same", 0, "same-replica retries of a shed (429/503) answer (0 = 2)")
 		maxFailover     = flag.Int("max-failover", 0, "re-shard recursion depth after replica failures (0 = 3)")
@@ -113,6 +117,7 @@ func main() {
 	rt, err := cluster.New(cluster.Options{
 		Replicas:        urls,
 		Spread:          *spread,
+		ScatterMin:      *scatterMin,
 		MaxAttempts:     *maxAttempts,
 		RetrySame:       *retrySame,
 		MaxFailover:     *maxFailover,

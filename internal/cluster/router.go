@@ -61,6 +61,14 @@ type Options struct {
 	// (0 = all healthy candidates). Lower values trade parallelism for
 	// fewer sub-requests per batch.
 	Spread int
+	// ScatterMin is the small-batch passthrough threshold: a batch with
+	// fewer properties than this routes whole to the design's primary
+	// replica instead of sharding (0 = always shard). Scattering a tiny
+	// batch buys no parallelism and pays per-sub-request overhead — the
+	// PR 7 smoke-batch regression — so routers set this to skip the
+	// scatter/gather machinery when there is nothing to parallelize.
+	// Failover, shed-retry and hedging still apply to the whole batch.
+	ScatterMin int
 	// MaxAttempts bounds how many replicas one shard may be offered to
 	// before the dispatch fails over to re-sharding or errors (0 = 3).
 	MaxAttempts int
@@ -197,6 +205,8 @@ type Router struct {
 	resharded atomic.Int64 // shards split across survivors mid-batch
 	hedges    atomic.Int64 // hedge sub-requests fired
 	hedgeWins atomic.Int64 // hedges that answered first
+
+	passthroughs atomic.Int64 // small batches routed whole (ScatterMin)
 }
 
 // New builds a router over the replica set and starts its health
@@ -419,6 +429,13 @@ func (rt *Router) Check(ctx context.Context, req *service.CheckRequest) ([]core.
 	}
 	if spread > len(props) {
 		spread = len(props)
+	}
+	// Small-batch passthrough: below the scatter threshold the whole
+	// batch goes to the primary (shard 0's candidate walk starts at the
+	// ring primary, so this is exactly the single-replica route).
+	if rt.opts.ScatterMin > 0 && len(props) < rt.opts.ScatterMin && spread > 1 {
+		spread = 1
+		rt.passthroughs.Add(1)
 	}
 	shards := make([][]propRef, spread)
 	for i, p := range props {

@@ -132,6 +132,9 @@ type routerHealth struct {
 	Resharded int64           `json:"resharded"`
 	Hedges    int64           `json:"hedges"`
 	HedgeWins int64           `json:"hedge_wins"`
+	// Passthroughs counts batches routed whole to their primary because
+	// they were below the ScatterMin threshold.
+	Passthroughs int64 `json:"passthroughs"`
 }
 
 type replicaReport struct {
@@ -149,16 +152,17 @@ type replicaReport struct {
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	mem := rt.mem.Load()
 	h := routerHealth{
-		Version:   rt.opts.Version,
-		UptimeS:   time.Since(rt.started).Seconds(),
-		Healthy:   rt.Healthy(),
-		Served:    rt.served.Load(),
-		Failed:    rt.failed.Load(),
-		Retries:   rt.retries.Load(),
-		Failovers: rt.failovers.Load(),
-		Resharded: rt.resharded.Load(),
-		Hedges:    rt.hedges.Load(),
-		HedgeWins: rt.hedgeWins.Load(),
+		Version:      rt.opts.Version,
+		UptimeS:      time.Since(rt.started).Seconds(),
+		Healthy:      rt.Healthy(),
+		Served:       rt.served.Load(),
+		Failed:       rt.failed.Load(),
+		Retries:      rt.retries.Load(),
+		Failovers:    rt.failovers.Load(),
+		Resharded:    rt.resharded.Load(),
+		Hedges:       rt.hedges.Load(),
+		HedgeWins:    rt.hedgeWins.Load(),
+		Passthroughs: rt.passthroughs.Load(),
 	}
 	switch {
 	case rt.Draining():

@@ -1,0 +1,91 @@
+package cluster
+
+// Router-path contracts added by the incremental re-verification PR:
+// small batches below -scatter-min route whole to the primary replica
+// instead of paying per-shard overhead, and a repeat batch through the
+// scatter/merge path comes back FULLY byte-identical (elapsed_ns
+// included) because every replica replays its shard verbatim from its
+// cone-keyed verdict cache.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRouterScatterMinPassthrough: an 8-property batch under a
+// ScatterMin of 10 must reach exactly one replica, whole, and still
+// match the single-node ground truth.
+func TestRouterScatterMinPassthrough(t *testing.T) {
+	want := normalizeElapsed(encodeRecords(t, referenceRecords(t)))
+	hits := make([]*atomic.Int64, 0, 3)
+	wrap := func(next http.Handler) http.Handler {
+		var n atomic.Int64
+		hits = append(hits, &n)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/check" {
+				n.Add(1)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, _, urls := newFleet(t, 3, wrap)
+	rt := newTestRouter(t, urls, func(o *Options) { o.ScatterMin = 10 })
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, data := postRouter(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := normalizeElapsed(data); got != want {
+		t.Fatalf("passthrough response differs from single-node run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	var touched int
+	for _, n := range hits {
+		if n.Load() > 0 {
+			touched++
+		}
+	}
+	if touched != 1 {
+		t.Errorf("passthrough batch reached %d replicas, want 1", touched)
+	}
+	if got := rt.passthroughs.Load(); got != 1 {
+		t.Errorf("passthroughs counter = %d, want 1", got)
+	}
+
+	// The same batch again lands on the same primary (ring affinity)
+	// whose verdict cache replays it verbatim: full byte identity.
+	resp2, data2 := postRouter(t, front.URL)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second status %d: %s", resp2.StatusCode, data2)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("warm passthrough differs from cold:\ncold: %s\nwarm: %s", data, data2)
+	}
+}
+
+// TestRouterWarmMergeByteIdentical: with sharding active (ScatterMin
+// 0) a repeat batch is reassembled from per-replica verdict-cache
+// replays — the merged response must equal the cold one byte-for-byte,
+// elapsed_ns included.
+func TestRouterWarmMergeByteIdentical(t *testing.T) {
+	_, _, urls := newFleet(t, 3, nil)
+	rt := newTestRouter(t, urls, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, cold := postRouter(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", resp.StatusCode, cold)
+	}
+	resp, warm := postRouter(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d: %s", resp.StatusCode, warm)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm merged response differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+}

@@ -22,6 +22,14 @@ type BatchOptions struct {
 	// Engine. Engines derived from the checker share its learned ESTG
 	// store, so concurrent workers feed each other's decision guidance.
 	Engine Engine
+	// Cache, when non-nil, short-circuits properties whose cone-keyed
+	// verdict is already cached (verdictcache.go): hits are replayed
+	// verbatim (FromCache set) without dispatching a worker, and fresh
+	// deterministic verdicts are stored back. Ignored when the session
+	// was built over an externally shared learned store, or when a
+	// custom Engine outside the canonical set is passed (its
+	// configuration is invisible to the cache key).
+	Cache *VerdictCache
 }
 
 // CheckAll checks a batch of properties concurrently on a bounded
@@ -43,12 +51,48 @@ func (c *Session) CheckAll(ctx context.Context, props []property.Property, opts 
 	if eng == nil {
 		eng = c.ATPGEngine()
 	}
+	// Verdict-cache consultation: resolve the key meta once (it gates
+	// itself off for shared-store sessions, unkeyable engines and
+	// fingerprint-less designs on non-ATPG engines), then split the
+	// batch into replayed hits and pending re-checks.
+	cache := opts.Cache
+	var keys []string
+	if cache != nil {
+		meta := ""
+		if !c.sharedStore {
+			switch eng.Name() {
+			case EngineATPG, EngineBMC, EngineBDD, EnginePortfolio:
+				meta = c.cacheMeta(eng.Name())
+			}
+		}
+		if meta == "" {
+			cache = nil
+		} else {
+			keys = make([]string, len(props))
+			for i, p := range props {
+				keys[i] = verdictKey(c.d.PropertyConeHash(p), p, meta)
+			}
+		}
+	}
+	pending := make([]int, 0, len(props))
+	for i := range props {
+		if cache != nil {
+			if rec, ok := cache.Get(keys[i]); ok {
+				results[i] = resultFromRecord(rec)
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return results
+	}
 	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if jobs > len(props) {
-		jobs = len(props)
+	if jobs > len(pending) {
+		jobs = len(pending)
 	}
 	var (
 		wg   sync.WaitGroup
@@ -70,10 +114,13 @@ func (c *Session) CheckAll(ctx context.Context, props []property.Property, opts 
 				results[i] = safeCheck(eng, ctx, Problem{
 					NL: c.nl, Prop: props[i], MaxDepth: c.opts.MaxDepth,
 				})
+				if cache != nil && cacheableVerdict(results[i].Verdict) {
+					cache.Put(keys[i], RecordFromResult(results[i]))
+				}
 			}
 		}()
 	}
-	for i := range props {
+	for _, i := range pending {
 		next <- i
 	}
 	close(next)

@@ -159,4 +159,10 @@ type Result struct {
 	// Err is the failure cause when Verdict is VerdictError (a
 	// recovered engine panic, an injected fault); empty otherwise.
 	Err string
+	// FromCache marks a result replayed from the verdict cache instead
+	// of computed: its record fields (including Elapsed) are the
+	// original run's, verbatim, and the structured extras (Trace,
+	// InitState, Stats) are absent. Never serialized — the wire record
+	// of a cached result is byte-identical to the original.
+	FromCache bool
 }

@@ -1,0 +1,151 @@
+package core
+
+// Cone-hash stability: the verdict cache's correctness rests on
+// PropertyConeHash being (a) insensitive to everything outside the
+// property's cone of influence — comments, whitespace, other modules,
+// and crucially the global SignalID renumbering those edits cause —
+// and (b) sensitive to any in-cone change. The golden-hash test
+// additionally pins the hash format itself: persisted verdict
+// snapshots are keyed by these hashes, so a format change silently
+// invalidates (or worse, mis-hits) state written by older builds.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/property"
+)
+
+// coneTestSrc builds a two-lane token-rotator design. comment and
+// pad0 perturb lane0's source without touching semantics relevant to
+// lane1 (pad0 adds a dangling gate, shifting every global SignalID
+// elaborated after it); c0/c1 are in-cone constants of the respective
+// lanes.
+func coneTestSrc(comment string, pad0 bool, c0, c1 int) string {
+	lane := func(k int, pad bool, c int) string {
+		extra := ""
+		if pad {
+			extra = "  wire [7:0] pad;\n  assign pad = tok ^ 8'd255;\n"
+		}
+		return fmt.Sprintf(`module lane%d(clk, ok);
+  input clk;
+  output ok;
+  reg [7:0] tok;
+  wire [7:0] churn;
+  wire [7:0] nxt;
+  assign churn = 8'd%d & tok;
+%s  assign nxt = {tok[6:0], tok[7]} | churn;
+  assign ok = |tok;
+  always @(posedge clk) tok <= nxt;
+  initial tok = 8'd1;
+endmodule
+`, k, c, extra)
+	}
+	return fmt.Sprintf(`// %s
+%s
+%s
+module top(clk, ok0, ok1);
+  input clk;
+  output ok0;
+  output ok1;
+  lane0 u0 (.clk(clk), .ok(ok0));
+  lane1 u1 (.clk(clk), .ok(ok1));
+endmodule
+`, comment, lane(0, pad0, c0), lane(1, false, c1))
+}
+
+// coneHashes compiles src and returns the property cone hash per
+// invariant name.
+func coneHashes(t *testing.T, src string, names ...string) map[string]string {
+	t.Helper()
+	d, err := CompileVerilog(src, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := property.FromNames(d.Netlist(), names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(props))
+	for _, p := range props {
+		out[p.Name] = d.PropertyConeHash(p)
+	}
+	return out
+}
+
+func TestConeHashIgnoresCommentsAndWhitespace(t *testing.T) {
+	base := coneHashes(t, coneTestSrc("v1", false, 0, 0), "ok0", "ok1")
+	edited := coneHashes(t, "\n\n"+coneTestSrc("totally different comment", false, 0, 0)+"\n", "ok0", "ok1")
+	for name, h := range base {
+		if edited[name] != h {
+			t.Errorf("%s: hash changed under comment/whitespace edit: %s -> %s", name, h, edited[name])
+		}
+	}
+}
+
+func TestConeHashSurvivesGlobalRenumbering(t *testing.T) {
+	// The pad gate in lane0 shifts the global SignalID of every signal
+	// elaborated after it — including all of lane1. ok1's cone is
+	// untouched, so its hash must not move; this is exactly the case a
+	// raw-SignalID hash would get wrong.
+	base := coneHashes(t, coneTestSrc("v1", false, 0, 0), "ok0", "ok1")
+	padded := coneHashes(t, coneTestSrc("v1", true, 0, 0), "ok0", "ok1")
+	if padded["ok1"] != base["ok1"] {
+		t.Errorf("ok1: hash changed under out-of-cone edit in lane0: %s -> %s", base["ok1"], padded["ok1"])
+	}
+}
+
+func TestConeHashSensitiveToInConeEdits(t *testing.T) {
+	base := coneHashes(t, coneTestSrc("v1", false, 0, 0), "ok0", "ok1")
+	edited := coneHashes(t, coneTestSrc("v1", false, 3, 0), "ok0", "ok1")
+	if edited["ok0"] == base["ok0"] {
+		t.Errorf("ok0: hash did not change when its in-cone constant did")
+	}
+	if edited["ok1"] != base["ok1"] {
+		t.Errorf("ok1: hash changed when only lane0's constant did: %s -> %s", base["ok1"], edited["ok1"])
+	}
+}
+
+func TestConeHashRepeatedCompileDeterministic(t *testing.T) {
+	// Go randomizes map iteration per map instance, so repeated
+	// compiles exercise the same nondeterminism lever that separate
+	// processes do (the elaborator sorts its map walks; the cone hash
+	// must stay order-free on top of that).
+	src := coneTestSrc("v1", true, 7, 9)
+	base := coneHashes(t, src, "ok0", "ok1")
+	for i := 0; i < 5; i++ {
+		again := coneHashes(t, src, "ok0", "ok1")
+		for name, h := range base {
+			if again[name] != h {
+				t.Fatalf("compile %d: %s hash flipped: %s -> %s", i, name, h, again[name])
+			}
+		}
+	}
+}
+
+// TestConeHashGolden pins the hash format across processes and builds.
+// Persisted verdict snapshots (service state dir) embed these hashes
+// in their keys: if this test breaks, old snapshots silently stop
+// hitting — change the cacheMeta version prefix in cacheMeta() along
+// with the format so stale keys can never alias fresh ones.
+func TestConeHashGolden(t *testing.T) {
+	d, err := CompileVerilog(`
+module g(a, b, y);
+  input a;
+  input b;
+  output y;
+  assign y = a & b;
+endmodule
+`, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := property.FromNames(d.Netlist(), []string{"y"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "d6df9e4c1417082e06b8ddc2bf12877c43d09046c2a0d96f363a411938c6f86f"
+	if got := d.PropertyConeHash(props[0]); got != want {
+		t.Errorf("golden cone hash drifted:\n got %s\nwant %s", got, want)
+	}
+}

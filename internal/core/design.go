@@ -64,6 +64,11 @@ type Design struct {
 	bddComp   *mc.Compiled
 	bddErr    error
 	bddBuilds atomic.Int32
+
+	// coneMemo caches ConeHash results per root-signal set; the walk is
+	// cheap but runs once per property per request on the serving path.
+	coneMu   sync.Mutex
+	coneMemo map[string]string
 }
 
 // NewDesign compiles a netlist into an immutable design artifact. The

@@ -33,6 +33,11 @@ type Session struct {
 	// machines are the design's local FSMs, nil when the session
 	// disabled them.
 	machines []*fsm.Machine
+	// sharedStore records that the caller passed in an external learned
+	// store (as opposed to the session's private default): shared
+	// guidance makes search metrics depend on traffic history, so such
+	// sessions never consult the verdict cache (CheckAll).
+	sharedStore bool
 }
 
 // Checker is the historical name of a Session; the two are one type.
@@ -56,7 +61,7 @@ func New(nl *netlist.Netlist, opts Options) (*Checker, error) {
 // disable them; a private learned store is created unless one is
 // passed in or disabled.
 func (d *Design) NewSession(opts Options) (*Session, error) {
-	s := &Session{d: d, nl: d.nl, opts: opts.withDefaults()}
+	s := &Session{d: d, nl: d.nl, opts: opts.withDefaults(), sharedStore: opts.Store != nil}
 	if s.opts.Store == nil && !s.opts.DisableLearnedStore {
 		s.opts.Store = estg.NewStore()
 	}

@@ -1,0 +1,236 @@
+package core
+
+// Byte-safety of the verdict cache: a cache hit must be
+// indistinguishable on the wire from the run that populated it —
+// replayed records are byte-identical including elapsed_ns and search
+// metrics, which is what lets the serving layer keep its
+// "responses are byte-reproducible" contract with the cache on.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/estg"
+	"repro/internal/property"
+)
+
+// batchRecords runs CheckAll on a fresh session over d and returns the
+// results plus their encoded wire bytes.
+func batchRecords(t *testing.T, d *Design, names []string, cache *VerdictCache) ([]Result, []byte) {
+	t.Helper()
+	sess, err := d.NewSession(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := property.FromNames(d.Netlist(), names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := sess.CheckAll(context.Background(), props, BatchOptions{Cache: cache})
+	recs := make([]JSONRecord, len(results))
+	for i, r := range results {
+		recs[i] = RecordFromResult(r)
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSONRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return results, buf.Bytes()
+}
+
+func TestVerdictCacheWarmReplayByteIdentical(t *testing.T) {
+	src := coneTestSrc("v1", false, 0, 0)
+	d, err := CompileVerilog(src, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ok0", "ok1"}
+	cache := NewVerdictCache(0)
+
+	cold, coldBytes := batchRecords(t, d, names, cache)
+	for i, r := range cold {
+		if r.FromCache {
+			t.Errorf("cold result %d claims FromCache", i)
+		}
+	}
+	if got := cache.Len(); got != len(names) {
+		t.Fatalf("cache holds %d entries after cold run, want %d", got, len(names))
+	}
+
+	// Same source recompiled — a different Design value, as a separate
+	// process restart would produce — must hit on every property and
+	// encode byte-identically, original elapsed_ns included.
+	d2, err := CompileVerilog(src, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmBytes := batchRecords(t, d2, names, cache)
+	for i, r := range warm {
+		if !r.FromCache {
+			t.Errorf("warm result %d not from cache", i)
+		}
+	}
+	if !bytes.Equal(coldBytes, warmBytes) {
+		t.Errorf("warm encoding differs from cold:\ncold: %s\nwarm: %s", coldBytes, warmBytes)
+	}
+	if st := cache.Stats(); st.Hits != int64(len(names)) {
+		t.Errorf("stats hits = %d, want %d", st.Hits, len(names))
+	}
+}
+
+func TestVerdictCacheDirtyConeSplit(t *testing.T) {
+	cache := NewVerdictCache(0)
+	d, err := CompileVerilog(coneTestSrc("v1", false, 0, 0), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ok0", "ok1"}
+	_, coldBytes := batchRecords(t, d, names, cache)
+
+	// Edit lane0's in-cone constant: ok0 must re-verify, ok1 must
+	// replay its cold record verbatim.
+	dEdit, err := CompileVerilog(coneTestSrc("v1", false, 5, 0), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _ := batchRecords(t, dEdit, names, cache)
+	if warm[0].FromCache {
+		t.Errorf("ok0 replayed from cache across an in-cone edit")
+	}
+	if !warm[1].FromCache {
+		t.Errorf("ok1 re-verified despite an untouched cone")
+	}
+	wantOk1 := RecordFromResult(warm[1])
+	var buf bytes.Buffer
+	if err := EncodeJSONRecords(&buf, []JSONRecord{wantOk1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(coldBytes, bytes.TrimSpace(trimBrackets(buf.Bytes()))) {
+		t.Errorf("ok1 warm record not byte-identical to its cold record\nwarm: %s\ncold batch: %s", buf.Bytes(), coldBytes)
+	}
+}
+
+// trimBrackets strips the surrounding JSON array frame from a
+// single-record encoding so it can be matched inside a larger batch.
+func trimBrackets(b []byte) []byte {
+	b = bytes.TrimSpace(b)
+	b = bytes.TrimPrefix(b, []byte("["))
+	b = bytes.TrimSuffix(b, []byte("]"))
+	return bytes.TrimSpace(b)
+}
+
+func TestVerdictCacheSharedStoreSessionBypasses(t *testing.T) {
+	// An externally shared learned store makes search metrics depend on
+	// traffic history; the cache must refuse to serve or store for such
+	// sessions (this is what gates it off under assertd -state-estg).
+	d, err := CompileVerilog(coneTestSrc("v1", false, 0, 0), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := d.NewSession(Options{Store: estg.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := property.FromNames(d.Netlist(), []string{"ok0", "ok1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewVerdictCache(0)
+	results := sess.CheckAll(context.Background(), props, BatchOptions{Cache: cache})
+	for i, r := range results {
+		if r.FromCache {
+			t.Errorf("result %d served from cache on a shared-store session", i)
+		}
+	}
+	if cache.Len() != 0 {
+		t.Errorf("shared-store session stored %d entries", cache.Len())
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Stores != 0 {
+		t.Errorf("shared-store session touched the cache: %+v", st)
+	}
+}
+
+func TestVerdictCacheUnknownNotStored(t *testing.T) {
+	d, err := CompileVerilog(coneTestSrc("v1", false, 0, 0), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := d.NewSession(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := property.FromNames(d.Netlist(), []string{"ok0", "ok1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cancelled context yields unknown verdicts: deadline-shaped
+	// results must never be replayed to a later request with budget.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cache := NewVerdictCache(0)
+	results := sess.CheckAll(ctx, props, BatchOptions{Cache: cache})
+	for i, r := range results {
+		if r.Verdict != VerdictUnknown {
+			t.Fatalf("result %d verdict = %v under cancelled ctx, want unknown", i, r.Verdict)
+		}
+	}
+	if cache.Len() != 0 || cache.Stats().Stores != 0 {
+		t.Errorf("unknown verdicts were stored: len=%d stats=%+v", cache.Len(), cache.Stats())
+	}
+}
+
+func TestVerdictCacheSnapshotRestoreRoundTrip(t *testing.T) {
+	src := coneTestSrc("v1", true, 7, 9)
+	d, err := CompileVerilog(src, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ok0", "ok1"}
+	cache := NewVerdictCache(0)
+	_, coldBytes := batchRecords(t, d, names, cache)
+
+	blob, err := cache.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewVerdictCache(0)
+	n, err := restored.Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(names) {
+		t.Fatalf("restored %d entries, want %d", n, len(names))
+	}
+
+	// A restarted process compiles the design fresh and must replay the
+	// pre-restart records byte-identically from the restored cache.
+	d2, err := CompileVerilog(src, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmBytes := batchRecords(t, d2, names, restored)
+	for i, r := range warm {
+		if !r.FromCache {
+			t.Errorf("post-restore result %d not from cache", i)
+		}
+	}
+	if !bytes.Equal(coldBytes, warmBytes) {
+		t.Errorf("post-restore encoding differs:\ncold: %s\nwarm: %s", coldBytes, warmBytes)
+	}
+}
+
+func TestCacheableVerdict(t *testing.T) {
+	cacheable := []Verdict{VerdictProved, VerdictProvedBounded, VerdictFalsified, VerdictWitnessFound, VerdictNoWitness}
+	for _, v := range cacheable {
+		if !cacheableVerdict(v) {
+			t.Errorf("%v not cacheable, want cacheable", v)
+		}
+	}
+	for _, v := range []Verdict{VerdictUnknown, VerdictError} {
+		if cacheableVerdict(v) {
+			t.Errorf("%v cacheable, want not", v)
+		}
+	}
+}

@@ -81,6 +81,13 @@ type Options struct {
 	// DesignCacheEntries bounds the compiled-design cache (0 = 64,
 	// < 0 = unbounded).
 	DesignCacheEntries int
+	// VerdictCacheEntries bounds the cone-keyed verdict cache (0 = the
+	// core default 4096, < 0 = disabled). Cached records replay
+	// byte-identically (the cache is transparent to every response
+	// contract), so it is on by default; it is forced off under
+	// StateESTG, whose shared learned stores make fresh metrics drift
+	// from cached ones.
+	VerdictCacheEntries int
 	// EnableFaults turns on the X-Fault-Inject request header (parsed
 	// into request-scoped internal/faultinject rules). For degradation
 	// testing only — never enable it on a production server.
@@ -197,6 +204,16 @@ type Server struct {
 	stateErr error
 	learned  *core.LearnedRegistry
 
+	// verdicts is the cone-keyed verdict cache (nil = disabled:
+	// VerdictCacheEntries < 0, or gated off under StateESTG). The
+	// implication counters feed /healthz: spent sums freshly computed
+	// records, saved sums replayed ones — the incremental-serving win,
+	// measurable because cached records carry their original counts.
+	verdicts        *core.VerdictCache
+	vImplSpent      atomic.Int64
+	vImplSaved      atomic.Int64
+	lastVerdictMuts atomic.Int64
+
 	// Manifest change tracking (in-process only, so a restarted
 	// server's first flush always writes) and the last-flush telemetry
 	// /healthz reports.
@@ -245,6 +262,14 @@ func New(opts Options) *Server {
 		started: time.Now(),
 		logf:    logf,
 	}
+	switch {
+	case opts.VerdictCacheEntries < 0:
+		// Disabled by the operator.
+	case opts.StateESTG:
+		logf("verdict cache disabled: -state-estg shared learned stores drift search metrics")
+	default:
+		s.verdicts = core.NewVerdictCache(opts.VerdictCacheEntries)
+	}
 	if opts.StateDir != "" {
 		maxBytes := opts.StateMaxBytes
 		if maxBytes < 0 {
@@ -284,6 +309,15 @@ func (s *Server) CachedDesigns() int { return s.designs.Len() }
 
 // DesignCacheStats snapshots the design cache counters.
 func (s *Server) DesignCacheStats() lru.Stats { return s.designs.Stats() }
+
+// VerdictCacheStats snapshots the verdict cache counters (all zero
+// when the cache is disabled).
+func (s *Server) VerdictCacheStats() core.VerdictCacheStats {
+	if s.verdicts == nil {
+		return core.VerdictCacheStats{}
+	}
+	return s.verdicts.Stats()
+}
 
 // InFlight returns how many check requests currently hold a slot.
 func (s *Server) InFlight() int { return s.adm.InFlight() }
@@ -325,20 +359,55 @@ func (s *Server) Handler() http.Handler {
 // router (or an operator) can see a replica's capacity envelope and
 // traffic history, not just its instantaneous state.
 type health struct {
-	Status          string       `json:"status"`
-	Version         string       `json:"version,omitempty"`
-	UptimeS         float64      `json:"uptime_s"`
-	Designs         int          `json:"designs"`
-	DesignHits      int64        `json:"design_hits"`
-	DesignMisses    int64        `json:"design_misses"`
-	DesignEvictions int64        `json:"design_evictions"`
-	InFlight        int          `json:"in_flight"`
-	Queued          int          `json:"queued"`
-	Rejected        int64        `json:"rejected"`
-	Served          int64        `json:"served"`
-	Shed            int64        `json:"shed"`
-	Limits          healthLimits `json:"limits"`
-	State           healthState  `json:"state"`
+	Status          string         `json:"status"`
+	Version         string         `json:"version,omitempty"`
+	UptimeS         float64        `json:"uptime_s"`
+	Designs         int            `json:"designs"`
+	DesignHits      int64          `json:"design_hits"`
+	DesignMisses    int64          `json:"design_misses"`
+	DesignEvictions int64          `json:"design_evictions"`
+	InFlight        int            `json:"in_flight"`
+	Queued          int            `json:"queued"`
+	Rejected        int64          `json:"rejected"`
+	Served          int64          `json:"served"`
+	Shed            int64          `json:"shed"`
+	Limits          healthLimits   `json:"limits"`
+	State           healthState    `json:"state"`
+	VerdictCache    healthVerdicts `json:"verdict_cache"`
+}
+
+// healthVerdicts is the /healthz verdict-cache block: residency, the
+// hit/miss/store/eviction counters, and the implication ledger (spent
+// = freshly computed across all requests, saved = replayed from cache)
+// that quantifies the incremental-serving win.
+type healthVerdicts struct {
+	Enabled           bool  `json:"enabled"`
+	Entries           int   `json:"entries"`
+	Hits              int64 `json:"hits"`
+	Misses            int64 `json:"misses"`
+	Stores            int64 `json:"stores"`
+	Evictions         int64 `json:"evictions"`
+	ImplicationsSpent int64 `json:"implications_spent"`
+	ImplicationsSaved int64 `json:"implications_saved"`
+}
+
+// verdictHealth snapshots the verdict-cache block for /healthz.
+func (s *Server) verdictHealth() healthVerdicts {
+	hv := healthVerdicts{
+		ImplicationsSpent: s.vImplSpent.Load(),
+		ImplicationsSaved: s.vImplSaved.Load(),
+	}
+	if s.verdicts == nil {
+		return hv
+	}
+	st := s.verdicts.Stats()
+	hv.Enabled = true
+	hv.Entries = st.Entries
+	hv.Hits = st.Hits
+	hv.Misses = st.Misses
+	hv.Stores = st.Stores
+	hv.Evictions = st.Evictions
+	return hv
 }
 
 // healthLimits is the replica's static capacity envelope: concurrency
@@ -380,7 +449,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			DefaultTimeoutMs: s.opts.DefaultTimeout.Milliseconds(),
 			MaxTimeoutMs:     s.opts.MaxTimeout.Milliseconds(),
 		},
-		State: s.stateHealth(),
+		State:        s.stateHealth(),
+		VerdictCache: s.verdictHealth(),
 	})
 }
 
@@ -464,6 +534,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
+	// Fault-drilled requests bypass the verdict cache: injection points
+	// live inside the engines, and a cache hit would skip them (the
+	// degrade suite wants the failure, not last week's verdict).
+	verdicts := s.verdicts
 	if s.opts.EnableFaults {
 		if spec := r.Header.Get("X-Fault-Inject"); spec != "" {
 			set, err := faultinject.Parse(spec)
@@ -472,6 +546,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			ctx = faultinject.WithSet(ctx, set)
+			verdicts = nil
 		}
 	}
 
@@ -569,7 +644,22 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// The request context cancels the whole batch when the client goes
 	// away or the deadline expires — in-flight engines observe it
 	// through their ctx plumbing and report unknown verdicts.
-	results := sess.CheckAll(ctx, props, core.BatchOptions{Jobs: jobs, Engine: eng})
+	results := sess.CheckAll(ctx, props, core.BatchOptions{Jobs: jobs, Engine: eng, Cache: verdicts})
+
+	// The per-request verdict-cache ledger: hits replayed vs cones
+	// re-checked, and the implication work each side represents.
+	var vHits, vMisses, implSpent, implSaved int64
+	for i := range results {
+		if results[i].FromCache {
+			vHits++
+			implSaved += results[i].Metrics.Implications
+		} else {
+			vMisses++
+			implSpent += results[i].Metrics.Implications
+		}
+	}
+	s.vImplSpent.Add(implSpent)
+	s.vImplSaved.Add(implSaved)
 
 	// Encode to a buffer before touching headers: a mid-stream encode
 	// failure after WriteHeader(200) would silently truncate the body,
@@ -588,6 +678,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Design-Cache", "hit")
 	} else {
 		w.Header().Set("X-Design-Cache", "miss")
+	}
+	if verdicts != nil {
+		w.Header().Set("X-Verdict-Cache", fmt.Sprintf("hits=%d misses=%d", vHits, vMisses))
 	}
 	s.served.Add(1)
 	_, _ = w.Write(buf.Bytes())

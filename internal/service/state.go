@@ -26,6 +26,12 @@ const (
 	manifestKey  = "designs"
 	// manifestVersion guards the manifest JSON layout.
 	manifestVersion = 1
+
+	// The verdict-cache snapshot (core.VerdictCache.Snapshot bytes):
+	// cone-keyed records survive restarts, so a rebooted server answers
+	// repeat CI traffic from cache on its first request.
+	verdictKind    = "verdicts"
+	verdictSnapKey = "cache"
 )
 
 // manifest is the design-cache warm-restart record: the sources of the
@@ -63,6 +69,11 @@ func (s *Server) FlushState(ctx context.Context) error {
 	if s.learned != nil {
 		if _, lerr := s.learned.Flush(ctx); lerr != nil && err == nil {
 			err = lerr
+		}
+	}
+	if s.verdicts != nil {
+		if verr := s.flushVerdicts(ctx); verr != nil && err == nil {
+			err = verr
 		}
 	}
 	now := time.Now().UnixNano()
@@ -113,6 +124,25 @@ func (s *Server) flushManifest(ctx context.Context) error {
 	return nil
 }
 
+// flushVerdicts snapshots the verdict cache when it mutated since the
+// last successful flush (the mutation counter is in-process only, so a
+// restarted server's first mutated flush always writes).
+func (s *Server) flushVerdicts(ctx context.Context) error {
+	muts := s.verdicts.Mutations()
+	if muts == s.lastVerdictMuts.Load() {
+		return nil
+	}
+	blob, err := s.verdicts.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := s.state.Save(ctx, verdictKind, verdictSnapKey, blob); err != nil {
+		return err
+	}
+	s.lastVerdictMuts.Store(muts)
+	return nil
+}
+
 // Rewarm loads the design-cache manifest and recompiles its designs
 // (MRU first, bounded by StateRewarm), so the cache is hot before the
 // listener opens: the first post-restart request for a manifest design
@@ -123,6 +153,7 @@ func (s *Server) Rewarm(ctx context.Context) int {
 	if s.state == nil {
 		return 0
 	}
+	s.rewarmVerdicts(ctx)
 	blob, err := s.state.Load(ctx, manifestKind, manifestKey)
 	if err != nil {
 		if err != persist.ErrNotExist {
@@ -154,6 +185,28 @@ func (s *Server) Rewarm(ctx context.Context) int {
 	}
 	s.logf("state: rewarmed %d designs from manifest", warmed)
 	return warmed
+}
+
+// rewarmVerdicts restores the verdict-cache snapshot, so verdicts for
+// repeat traffic survive restarts. A missing, corrupt or undecodable
+// snapshot degrades to an empty cache, never an error.
+func (s *Server) rewarmVerdicts(ctx context.Context) {
+	if s.verdicts == nil {
+		return
+	}
+	blob, err := s.state.Load(ctx, verdictKind, verdictSnapKey)
+	if err != nil {
+		if err != persist.ErrNotExist {
+			s.logf("state: verdict snapshot unavailable (%v); starting cold", err)
+		}
+		return
+	}
+	n, err := s.verdicts.Restore(blob)
+	if err != nil {
+		s.logf("state: verdict snapshot undecodable (%v); starting cold", err)
+		return
+	}
+	s.logf("state: restored %d cached verdicts", n)
 }
 
 // RunStateFlusher flushes on a StateInterval ticker until ctx is
