@@ -232,6 +232,14 @@ func printResult(nl *netlist.Netlist, res core.Result) {
 			res.Stats.Backtracks, res.Stats.Backjumps, res.Stats.LevelsSkipped,
 			res.Stats.EstgReorders, res.Stats.EstgPrunes)
 	}
+	if res.Stats.BitSkips > 0 || res.Stats.BitChainHops > 0 {
+		fmt.Printf("  bit-grain: %d chain entries followed, %d skipped (changed bits disjoint from needed bits)\n",
+			res.Stats.BitChainHops, res.Stats.BitSkips)
+	}
+	if res.BDD.Partitions > 0 {
+		fmt.Printf("  image: %d transition partitions, peak %d live product nodes, quantification depth %d\n",
+			res.BDD.Partitions, res.BDD.PeakImageNodes, res.BDD.QuantDepth)
+	}
 	if res.Trace != nil {
 		fmt.Print(res.Trace.Format(nl))
 	}

@@ -179,8 +179,9 @@ func TestBackjumpMatchesChrono(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
 	configs := []Features{
 		{NoBackjump: true, NoEstgGuide: true}, // reference: chronological
-		{},                                    // full: backjump + guidance
+		{},                                    // full: backjump + guidance + bit-grain
 		{NoEstgGuide: true},                   // backjump only
+		{NoBitGrain: true},                    // full minus the slice-window enqueue filter
 	}
 	runs := 300
 	if testing.Short() {

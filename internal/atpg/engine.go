@@ -69,6 +69,19 @@ type Features struct {
 	// conflict counts on abstract states/transitions are still recorded
 	// but no longer read back to order decision polarities.
 	NoEstgGuide bool
+	// NoBitGrain disables bit-granular conflict analysis: the analysis
+	// follows a signal's whole refinement chain (the word-level PR 3
+	// behavior) instead of only the entries whose changed-bit masks
+	// intersect the bits the conflict actually read. Verdicts are
+	// identical either way; bit filtering only shrinks conflict sets
+	// (deeper backjumps, sparser activity bumps).
+	NoBitGrain bool
+	// MonolithicImage makes the BDD reachability engine compute images
+	// over the single conjoined transition relation (the pre-partition
+	// behavior) instead of the conjunctively partitioned one with early
+	// quantification. Interpreted by internal/mc; carried here so one
+	// Features struct switches every engine's ablations.
+	MonolithicImage bool
 }
 
 // Stats reports search effort.
@@ -105,6 +118,12 @@ type Stats struct {
 	// infeasibility.
 	EstgReorders int
 	EstgPrunes   int
+	// Bit-granular filtering effectiveness: BitSkips counts trail
+	// entries the needed-bit masks proved irrelevant during chain walks
+	// (entries a word-level analysis would have charged), BitChainHops
+	// the entries actually followed. Both zero under NoBitGrain.
+	BitSkips     int
+	BitChainHops int
 }
 
 // Status is the outcome of a Solve call.
@@ -267,6 +286,22 @@ type Engine struct {
 	anGen       uint32
 	anQueue     []int32
 	confScratch []uint64
+	// Bit-granular analysis scratch (lazily allocated on the first
+	// analysis, so probe engines never pay): anNeed[ti] accumulates the
+	// changed bits of queued gate-reason trail entry ti the current
+	// analysis needs explained; sigNeed/sigBound memoize, per signal
+	// instance (frame*numSignals+sig, valid iff sigStamp matches anGen),
+	// the needed-bit mask and trail bound the chain walk has already
+	// covered, so repeated requests on one signal re-walk its chain only
+	// when the request strictly grows. curFlags is the entry-flags value
+	// assign stamps (set around flagged implication sub-paths).
+	anNeed   []uint64
+	sigNeed  []uint64
+	sigBound []int32
+	sigStamp []uint32
+	curFlags uint8
+	// ufPathBuf is addUfLevelsFor's proof-forest path scratch.
+	ufPathBuf []int32
 	// guideBuf builds candidate abstract-state keys (and joined
 	// transition keys) for ESTG scoring without allocating.
 	guideBuf []byte
@@ -333,7 +368,20 @@ type trailEntry struct {
 	// flip-flop implication touches signals at reason.frame and
 	// reason.frame+1), or a reason* sentinel.
 	reason gateAt
+	// changed is the mask of bit positions (folded modulo 64 — see
+	// bv.DeltaKnown) this refinement newly pinned. Bit-granular
+	// conflict analysis follows an entry only when changed intersects
+	// the bits the conflict needs.
+	changed uint64
+	// flags marks implication sub-paths whose reads the reason gate's
+	// kind alone cannot describe (see entryMuxScan).
+	flags uint8
 }
+
+// entryMuxScan marks a refinement produced by implyMuxBack's
+// infeasible-select elimination, which reads every data cube of the
+// mux whole — bit-granular analysis must charge all pins fully.
+const entryMuxScan uint8 = 1
 
 type gateAt struct {
 	frame int32
@@ -655,16 +703,18 @@ func (e *Engine) assign(frame int, sig netlist.SignalID, val bv.BV) bool {
 		}
 	}
 	ti := frame*e.nl.NumSignals() + int(sig)
+	delta := bv.DeltaKnown(cur, merged)
 	e.trail = append(e.trail, trailEntry{
 		frame: int32(frame), sig: sig, prev: cur,
 		prevTouch: e.lastTouch[ti], reason: e.curReason,
+		changed: delta, flags: e.curFlags,
 	})
 	e.lastTouch[ti] = int32(len(e.trail) - 1)
 	if len(e.trail) > e.stats.MaxTrail {
 		e.stats.MaxTrail = len(e.trail)
 	}
 	e.vals[frame][sig] = merged
-	e.enqueueAround(frame, sig)
+	e.enqueueAround(frame, sig, delta)
 	e.markDirtyAround(frame, sig)
 	return true
 }
@@ -698,8 +748,12 @@ func (e *Engine) markDirtyAround(frame int, sig netlist.SignalID) {
 }
 
 // enqueueAround schedules the driver and fanout gates of a changed
-// signal, including the cross-frame neighbours of flip-flops.
-func (e *Engine) enqueueAround(frame int, sig netlist.SignalID) {
+// signal, including the cross-frame neighbours of flip-flops. delta is
+// the folded changed-bit mask of the refinement; with bit-granular
+// analysis enabled it filters fanout gates that provably cannot
+// observe the change (a slice whose window misses every changed bit
+// reads the same cube it read last time, forward and backward).
+func (e *Engine) enqueueAround(frame int, sig netlist.SignalID, delta uint64) {
 	s := &e.nl.Signals[sig]
 	if s.Driver != netlist.None {
 		g := &e.nl.Gates[s.Driver]
@@ -713,16 +767,40 @@ func (e *Engine) enqueueAround(frame int, sig netlist.SignalID) {
 			e.enqueue(frame, s.Driver)
 		}
 	}
-	for _, g := range s.Fanout {
-		if e.nl.Gates[g].Kind == netlist.KDff {
+	bitGrain := !e.features.NoBitGrain
+	for _, gid := range s.Fanout {
+		g := &e.nl.Gates[gid]
+		if g.Kind == netlist.KDff {
 			// D at this frame drives Q at frame+1.
 			if frame+1 < e.frames {
-				e.enqueue(frame, g)
+				e.enqueue(frame, gid)
 			}
-		} else {
-			e.enqueue(frame, g)
+			continue
 		}
+		if bitGrain && g.Kind == netlist.KSlice && delta&foldedWindow(g.Lo, g.Hi) == 0 {
+			// The slice reads only In[0][Hi:Lo]; no changed bit folds
+			// into that window, so re-implying it is a no-op.
+			e.stats.BitSkips++
+			continue
+		}
+		e.enqueue(frame, gid)
 	}
+}
+
+// foldedWindow returns the folded (mod 64) mask of bit positions
+// lo..hi — the input window a slice gate reads. Exact for signals of
+// width <= 64; for wider signals the rotation matches the folding of
+// bv.DeltaKnown, so a zero intersection still proves no read bit
+// changed... only in the sound direction: aliasing can only make the
+// window look dirtier, never cleaner.
+func foldedWindow(lo, hi int) uint64 {
+	n := hi - lo + 1
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	m := uint64(1)<<uint(n) - 1
+	sh := uint(lo % 64)
+	return m<<sh | m>>(64-sh)
 }
 
 func (e *Engine) enqueue(frame int, g netlist.GateID) {

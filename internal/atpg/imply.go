@@ -461,22 +461,26 @@ func (e *Engine) implyMuxBack(frame int, g *netlist.Gate, out bv.BV) bool {
 	if len(feasible) == 0 {
 		return false
 	}
-	// Union of feasible select values refines the select cube.
+	// Union of feasible select values refines the select cube. The
+	// feasibility of each value was read off every data cube whole, so
+	// the refinements below are flagged for bit-granular conflict
+	// analysis: their transfer must charge all pins in full.
 	cube := bv.FromUint64(sel.Width(), feasible[0])
 	for _, v := range feasible[1:] {
 		cube.UnionInPlace(bv.FromUint64(sel.Width(), v))
 	}
-	if !e.assign(frame, g.In[0], cube) {
-		return false
-	}
-	if len(feasible) == 1 && feasible[0] < uint64(len(data)) {
+	e.curFlags = entryMuxScan
+	ok := e.assign(frame, g.In[0], cube)
+	if ok && len(feasible) == 1 && feasible[0] < uint64(len(data)) {
 		d := data[feasible[0]]
 		if _, conflict := e.vals[frame][d].RefineScan(e.vals[frame][g.Out]); conflict {
-			return false
+			ok = false
+		} else {
+			ok = e.merge(frame, d, frame, g.Out)
 		}
-		return e.merge(frame, d, frame, g.Out)
 	}
-	return true
+	e.curFlags = 0
+	return ok
 }
 
 // unjustified reports whether the gate instance still needs

@@ -50,6 +50,11 @@ type Manager struct {
 	// Unknown verdict.
 	Interrupt func() bool
 	allocs    int
+	// Size's generation-stamped visited marks and DFS stack, reused
+	// across calls (Size runs once per relational-product step).
+	sizeSeen  []uint32
+	sizeGen   uint32
+	sizeStack []Ref
 }
 
 // ErrNodeLimit is panicked (and recovered by the model checker) when
@@ -257,6 +262,125 @@ func (m *Manager) applyOp(op uint8, f, g Ref) Ref {
 	r := m.mk(top, m.applyOp(op, f0, g0), m.applyOp(op, f1, g1))
 	m.apply[key] = r
 	return r
+}
+
+// AndExists returns ∃Q. f ∧ g where Q is the set of variables for
+// which quant returns true — the relational product of symbolic image
+// computation (Burch/Clarke/Long). Computing the conjunction and the
+// quantification in one recursion never materializes the full product
+// f ∧ g: whenever the top variable is quantified, a True low branch
+// short-circuits the high branch entirely. The memo is per-call
+// because it is only valid for one quantifier set.
+func (m *Manager) AndExists(f, g Ref, quant func(v int) bool) Ref {
+	memo := map[applyKey]Ref{}
+	var rec func(f, g Ref) Ref
+	rec = func(f, g Ref) Ref {
+		if f == False || g == False {
+			return False
+		}
+		if f == True && g == True {
+			return True
+		}
+		if f == True {
+			return m.Exists(g, quant)
+		}
+		if g == True {
+			return m.Exists(f, quant)
+		}
+		if f > g {
+			f, g = g, f
+		}
+		key := applyKey{opAnd, f, g}
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		lf, lg := m.level(f), m.level(g)
+		top := lf
+		if lg < top {
+			top = lg
+		}
+		var f0, f1, g0, g1 Ref
+		if lf == top {
+			f0, f1 = m.nodes[f].lo, m.nodes[f].hi
+		} else {
+			f0, f1 = f, f
+		}
+		if lg == top {
+			g0, g1 = m.nodes[g].lo, m.nodes[g].hi
+		} else {
+			g0, g1 = g, g
+		}
+		var r Ref
+		if quant(int(top)) {
+			r = rec(f0, g0)
+			if r != True {
+				r = m.Or(r, rec(f1, g1))
+			}
+		} else {
+			r = m.mk(top, rec(f0, g0), rec(f1, g1))
+		}
+		memo[key] = r
+		return r
+	}
+	return rec(f, g)
+}
+
+// Support marks the variables f depends on in mark (which must have
+// at least NumVars entries). Entries for variables not in f's support
+// are left untouched, so one slice can accumulate the union support
+// of several functions.
+func (m *Manager) Support(f Ref, mark []bool) {
+	seen := map[Ref]bool{}
+	var rec func(Ref)
+	rec = func(f Ref) {
+		if f == True || f == False || seen[f] {
+			return
+		}
+		seen[f] = true
+		n := m.nodes[f]
+		mark[n.level] = true
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+}
+
+// Size returns the number of non-terminal nodes in f — the memory
+// cost of that one function, as opposed to NumNodes, the manager-wide
+// allocation count. The visited set is a flat bool slice indexed by
+// Ref rather than a map: Size runs after every relational-product
+// step on BDDs that can reach millions of nodes, where per-node map
+// hashing would cost more than the product itself.
+func (m *Manager) Size(f Ref) int {
+	if f == True || f == False {
+		return 0
+	}
+	// Generation-stamped visited marks: one amortized allocation per
+	// manager growth, zero clearing per call.
+	if len(m.sizeSeen) < len(m.nodes) || m.sizeGen == ^uint32(0) {
+		m.sizeSeen = make([]uint32, len(m.nodes))
+		m.sizeGen = 0
+	}
+	m.sizeGen++
+	gen := m.sizeGen
+	m.sizeStack = append(m.sizeStack[:0], f)
+	m.sizeSeen[f] = gen
+	count := 0
+	for len(m.sizeStack) > 0 {
+		r := m.sizeStack[len(m.sizeStack)-1]
+		m.sizeStack = m.sizeStack[:len(m.sizeStack)-1]
+		count++
+		n := m.nodes[r]
+		if n.lo > True && m.sizeSeen[n.lo] != gen {
+			m.sizeSeen[n.lo] = gen
+			m.sizeStack = append(m.sizeStack, n.lo)
+		}
+		if n.hi > True && m.sizeSeen[n.hi] != gen {
+			m.sizeSeen[n.hi] = gen
+			m.sizeStack = append(m.sizeStack, n.hi)
+		}
+	}
+	return count
 }
 
 // Exists existentially quantifies all variables for which quant

@@ -182,3 +182,99 @@ func TestNumNodesGrows(t *testing.T) {
 		t.Error("NumVars wrong")
 	}
 }
+
+// TestAndExistsMatchesComposed cross-checks the one-pass relational
+// product against the composed And-then-Exists on random functions:
+// same manager, same quantifier set, refs must be identical (both are
+// canonical).
+func TestAndExistsMatchesComposed(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	n := 6
+	for trial := 0; trial < 80; trial++ {
+		m := New(n)
+		rnd := func() Ref {
+			f := True
+			if r.Intn(2) == 0 {
+				f = False
+			}
+			for i := 0; i < 4; i++ {
+				v := m.Var(r.Intn(n))
+				if r.Intn(2) == 0 {
+					v = m.Not(v)
+				}
+				switch r.Intn(3) {
+				case 0:
+					f = m.And(f, v)
+				case 1:
+					f = m.Or(f, v)
+				default:
+					f = m.Xor(f, v)
+				}
+			}
+			return f
+		}
+		f, g := rnd(), rnd()
+		qmask := r.Intn(1 << n)
+		quant := func(v int) bool { return qmask>>uint(v)&1 == 1 }
+		got := m.AndExists(f, g, quant)
+		want := m.Exists(m.And(f, g), quant)
+		if got != want {
+			t.Fatalf("trial %d: AndExists=%d, Exists(And)=%d (qmask=%b)", trial, got, want, qmask)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.And(m.Var(0), m.Xor(m.Var(2), m.Var(4)))
+	mark := make([]bool, 5)
+	m.Support(f, mark)
+	want := []bool{true, false, true, false, true}
+	for v := range mark {
+		if mark[v] != want[v] {
+			t.Errorf("support[%d] = %v, want %v", v, mark[v], want[v])
+		}
+	}
+	// Marks accumulate across calls (callers reset between uses).
+	m.Support(m.Var(1), mark)
+	if !mark[1] || !mark[0] {
+		t.Error("Support cleared marks instead of accumulating")
+	}
+	// Terminals have empty support.
+	clear := make([]bool, 5)
+	m.Support(True, clear)
+	for v, in := range clear {
+		if in {
+			t.Errorf("True has var %d in support", v)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	m := New(4)
+	if m.Size(True) != 0 || m.Size(False) != 0 {
+		t.Error("terminals must have size 0")
+	}
+	a := m.Var(0)
+	if m.Size(a) != 1 {
+		t.Errorf("Size(var) = %d, want 1", m.Size(a))
+	}
+	// A conjunction chain is one node per variable.
+	f := True
+	for v := 0; v < 4; v++ {
+		f = m.And(f, m.Var(v))
+	}
+	if m.Size(f) != 4 {
+		t.Errorf("Size(a∧b∧c∧d) = %d, want 4", m.Size(f))
+	}
+	// Size counts distinct nodes, not paths: repeated calls agree and
+	// shared subgraphs are not double-counted.
+	g := m.Xor(m.Var(0), m.Var(1))
+	s1 := m.Size(g)
+	if s2 := m.Size(g); s1 != s2 {
+		t.Errorf("Size unstable across calls: %d then %d", s1, s2)
+	}
+	if m.Size(m.Not(f)) != m.Size(f) {
+		t.Error("complement changed the node count")
+	}
+}

@@ -88,6 +88,45 @@ func (b BV) RefineScan(o BV) (changed, conflict bool) {
 	return changed, false
 }
 
+// DeltaKnown returns the mask of bit positions, folded modulo 64, that
+// are known in next but not in prev — the changed-bit mask a trail
+// entry records for bit-granular conflict analysis. For vectors of
+// width <= 64 the fold is the identity (an exact per-bit mask); wider
+// vectors OR their per-word deltas, so mask bit j stands for bits
+// j, j+64, j+128, ... Folding commutes with bitwise operations
+// exactly and with bit offsets as rotations ((b+k) mod 64 ==
+// ((b mod 64)+k) mod 64), which is what keeps one word of mask sound
+// and useful across arbitrarily wide signals.
+func DeltaKnown(prev, next BV) uint64 {
+	if next.small() {
+		return next.k0 &^ prev.k0
+	}
+	var m uint64
+	for i, k := range next.ks {
+		var pk uint64
+		if i < len(prev.ks) {
+			pk = prev.ks[i]
+		}
+		m |= k &^ pk
+	}
+	return m
+}
+
+// ConflictMask returns the folded (mod 64) mask of bit positions where
+// a and b are both known and disagree — the positions witnessing a cube
+// contradiction. Zero means the cubes are compatible. a and b must have
+// equal widths (and therefore the same representation).
+func ConflictMask(a, b BV) uint64 {
+	if a.small() {
+		return a.k0 & b.k0 & (a.v0 ^ b.v0)
+	}
+	var m uint64
+	for i := range a.ks {
+		m |= a.ks[i] & b.ks[i] & (a.vs[i] ^ b.vs[i])
+	}
+	return m
+}
+
 // blit copies n bits of src starting at srcLo into dst starting at
 // dstLo, OR-ing known bits in. dst must be unshared; bits outside the
 // blit are untouched.

@@ -137,7 +137,12 @@ type Result struct {
 	// InitState pins uninitialized registers the trace relies on.
 	InitState map[netlist.SignalID]bv.BV
 	Stats     atpg.Stats
-	Elapsed   time.Duration
+	// BDD carries the BDD engine's partitioned-image detail when the
+	// BDD engine produced the verdict; zero otherwise (and under the
+	// MonolithicImage ablation). Never serialized — JSONRecord bytes
+	// are unchanged by its presence.
+	BDD     BDDStats
+	Elapsed time.Duration
 	// AllocBytes is the total heap allocated during the check — the
 	// measured analogue of the paper's memory column.
 	AllocBytes uint64

@@ -65,6 +65,17 @@ type Design struct {
 	bddErr    error
 	bddBuilds atomic.Int32
 
+	// bddMono* cache the monolithic-image variant of the compiled
+	// symbolic model (the MonolithicImage ablation); the default
+	// partitioned variant lives in bddComp. A snapshot only supports
+	// the image mode it was compiled for, so the two are separate
+	// build-once cells and only the modes a session actually uses are
+	// ever built.
+	bddMonoOnce   sync.Once
+	bddMonoComp   *mc.Compiled
+	bddMonoErr    error
+	bddMonoBuilds atomic.Int32
+
 	// coneMemo caches ConeHash results per root-signal set; the walk is
 	// cheap but runs once per property per request on the serving path.
 	coneMu   sync.Mutex
@@ -227,7 +238,14 @@ func (d *Design) BMCTemplate() (*cnf.Template, error) {
 // into private managers (mc.Compiled.CheckCtx). Designs whose model
 // blows the build budget return an error here; callers fall back to
 // the direct per-run path.
-func (d *Design) BDDModel() (*mc.Compiled, error) {
+func (d *Design) BDDModel(monolithic bool) (*mc.Compiled, error) {
+	if monolithic {
+		d.bddMonoOnce.Do(func() {
+			d.bddMonoBuilds.Add(1)
+			d.bddMonoComp, d.bddMonoErr = mc.Compile(d.nl, mc.CompileOptions{MonolithicImage: true})
+		})
+		return d.bddMonoComp, d.bddMonoErr
+	}
 	d.bddOnce.Do(func() {
 		d.bddBuilds.Add(1)
 		d.bddComp, d.bddErr = mc.Compile(d.nl, mc.CompileOptions{})
@@ -236,8 +254,10 @@ func (d *Design) BDDModel() (*mc.Compiled, error) {
 }
 
 // CacheBuilds reports how many times each lazily-compiled engine cache
-// was built (fsm, atpg, bmc, bdd) — each must be 0 or 1; the
-// build-once contract's test hook.
+// was built (fsm, atpg, bmc, bdd) — each must be 0 or 1 per variant;
+// the build-once contract's test hook. The bdd count covers the
+// default partitioned variant (the monolithic ablation variant has its
+// own cell, counted only when a session opts into it).
 func (d *Design) CacheBuilds() (fsmB, atpgB, bmcB, bddB int) {
 	return int(d.fsmBuilds.Load()), int(d.atpgBuilds.Load()),
 		int(d.bmcBuilds.Load()), int(d.bddBuilds.Load())

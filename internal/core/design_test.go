@@ -180,7 +180,7 @@ func TestEngineCachesBuildOnce(t *testing.T) {
 			if err != nil {
 				t.Error(err)
 			}
-			comp, err := d.BDDModel()
+			comp, err := d.BDDModel(false)
 			if err != nil {
 				t.Error(err)
 			}

@@ -305,6 +305,17 @@ func (e *bddEngine) Check(ctx context.Context, prob Problem) EngineResult {
 	return bddResult(prob, mr, time.Since(start))
 }
 
+// BDDStats is the BDD engine's partitioned-image detail: how many
+// conjunctive transition clusters the image fold ran over, the largest
+// intermediate relational product it carried, and the length of the
+// early-quantification schedule. All zero when the image was computed
+// monolithically.
+type BDDStats struct {
+	Partitions     int
+	PeakImageNodes int
+	QuantDepth     int
+}
+
 // bddResult maps a BDD reachability result onto the unified Result.
 // Shared by the standalone and the design-cached BDD engines.
 func bddResult(prob Problem, mr mc.Result, elapsed time.Duration) Result {
@@ -316,6 +327,11 @@ func bddResult(prob Problem, mr mc.Result, elapsed time.Duration) Result {
 		Metrics: EngineMetrics{
 			Decisions: int64(mr.Iters),
 			MemUnits:  int64(mr.PeakNodes),
+		},
+		BDD: BDDStats{
+			Partitions:     mr.Partitions,
+			PeakImageNodes: mr.PeakImageNodes,
+			QuantDepth:     mr.QuantDepth,
 		},
 	}
 	switch mr.Verdict {
@@ -346,6 +362,11 @@ func bddResult(prob Problem, mr mc.Result, elapsed time.Duration) Result {
 // over a different netlist — fall back to the standalone per-run path,
 // which stays fully interruptible during construction.
 func (c *Session) BDDEngine(opts mc.Options) Engine {
+	// The session's ablation switches flow into the BDD path here, so
+	// portfolio members and direct callers agree on the image mode.
+	if c.opts.Features.MonolithicImage {
+		opts.MonolithicImage = true
+	}
 	return &sessionBDDEngine{c: c, opts: opts}
 }
 
@@ -364,7 +385,7 @@ func (e *sessionBDDEngine) Check(ctx context.Context, prob Problem) EngineResult
 	if prob.NL != e.c.nl {
 		return bddResult(prob, mc.CheckCtx(ctx, prob.NL, prob.Prop, e.opts), time.Since(start))
 	}
-	comp, err := e.c.d.BDDModel()
+	comp, err := e.c.d.BDDModel(e.opts.MonolithicImage)
 	if err != nil {
 		// Model too big to cache: run the direct interruptible path.
 		return bddResult(prob, mc.CheckCtx(ctx, prob.NL, prob.Prop, e.opts), time.Since(start))

@@ -458,6 +458,8 @@ func addStats(a, b atpg.Stats) atpg.Stats {
 	a.LevelsSkipped += b.LevelsSkipped
 	a.EstgReorders += b.EstgReorders
 	a.EstgPrunes += b.EstgPrunes
+	a.BitSkips += b.BitSkips
+	a.BitChainHops += b.BitChainHops
 	if b.MaxTrail > a.MaxTrail {
 		a.MaxTrail = b.MaxTrail
 	}

@@ -42,6 +42,19 @@ func (v Verdict) String() string {
 type Options struct {
 	MaxNodes int // BDD node budget (0 = 4M)
 	MaxIters int // reachability iterations (0 = 10000)
+	// MonolithicImage computes images against the single conjoined
+	// transition relation, exactly as before conjunctive partitioning
+	// existed — the ablation switch. Off (the default) the transition
+	// relation is kept as per-state-variable clusters and the image is
+	// a fold of AndExists relational products with early
+	// quantification: each current-state/input variable is quantified
+	// out at the last cluster that mentions it, so intermediate
+	// products stay small.
+	MonolithicImage bool
+	// PartitionNodes is the node budget one transition cluster may
+	// reach before a new cluster is started (0 = 2048). Ignored under
+	// MonolithicImage.
+	PartitionNodes int
 }
 
 // Result reports the outcome with the memory proxy.
@@ -55,6 +68,19 @@ type Result struct {
 	// States is the number of reachable states at the end (satcount).
 	States  float64
 	Elapsed time.Duration
+	// Partitions is the number of conjunctive transition-relation
+	// clusters the image fold ran over; 0 in monolithic mode.
+	Partitions int
+	// PeakImageNodes is the largest intermediate relational-product
+	// size (in BDD nodes) observed across all image steps — the live
+	// working-set measure partitioning exists to keep down. 0 in
+	// monolithic mode.
+	PeakImageNodes int
+	// QuantDepth is the number of points in the image fold at which at
+	// least one variable is quantified out (the early-quantification
+	// schedule length). 0 in monolithic mode, where all variables are
+	// quantified at once.
+	QuantDepth int
 }
 
 // Check runs forward reachability for an invariant property. Witness
@@ -64,12 +90,32 @@ func Check(nl *netlist.Netlist, p property.Property, opts Options) Result {
 }
 
 // model is the symbolic form of a netlist inside one manager: the
-// variable layout, the per-bit signal functions, the monolithic
-// transition relation and the initial-state set.
+// variable layout, the per-bit signal functions, the transition
+// relation — monolithic (t) or conjunctively partitioned (parts) —
+// and the initial-state set.
 type model struct {
 	nState, nIn int
 	funcs       map[netlist.SignalID][]bdd.Ref
 	t, init     bdd.Ref
+	// parts is the partitioned transition relation: clusters of
+	// next-state constraints (next_i ↔ f_d[i]) grouped in state-bit
+	// order under a per-cluster node budget. nil in monolithic mode.
+	parts []bdd.Ref
+	// lastAt[v] is the index of the last cluster whose support
+	// contains variable v, or -1 — the early-quantification schedule:
+	// a current-state/input variable can be quantified out of the
+	// accumulating product right after the lastAt[v] fold step,
+	// because no later cluster reads it.
+	lastAt []int
+	// quantDepth is the number of distinct quantification points the
+	// schedule has (fold steps owning at least one variable, plus one
+	// for the up-front step when some variable appears in no cluster).
+	quantDepth int
+	// quantOK[v] reports whether variable v is quantified away by the
+	// image (current-state and input variables; next-state variables
+	// survive and are renamed). isCur[v] marks current-state variables
+	// only — the projection countStates keeps.
+	quantOK, isCur []bool
 }
 
 // layoutSizes returns the state-bit and input-bit counts of the
@@ -85,11 +131,20 @@ func layoutSizes(nl *netlist.Netlist) (nState, nIn int) {
 	return nState, nIn
 }
 
-// buildModel constructs the symbolic model in m. Variable layout:
-// state bit i -> current level 2i, next level 2i+1; primary input bits
-// after all state variables (the layout countStates and the image
-// quantification rely on).
-func buildModel(m *bdd.Manager, nl *netlist.Netlist) (model, error) {
+// buildModel constructs the symbolic model in m. Two variable layouts
+// exist, chosen by mode. Monolithic (the ablation): state bit i ->
+// current level 2i, next level 2i+1, all primary-input bits after the
+// state pairs — byte-for-byte the pre-partitioning order. Partitioned:
+// interleaved — input bits with in-signal bit index i sit directly
+// after state bit i's current/next pair, so globally-shared low-order
+// inputs (an address, a per-bit grant) live near the top of the order
+// and per-bit inputs sit next to the state bit they gate. Without
+// this, a relation like next_i <-> f(state_i, shared_input) forces
+// every partial product to carry the full cross-bit correlation until
+// the shared input is finally quantified, and both the monolithic
+// build and the partitioned fold go exponential. Both layouts keep
+// next = current + 1, which the image's rename step relies on.
+func buildModel(m *bdd.Manager, nl *netlist.Netlist, mono bool, partBudget int) (model, error) {
 	nState := 0
 	ffBase := map[netlist.GateID]int{}
 	for _, ff := range nl.FFs {
@@ -97,13 +152,49 @@ func buildModel(m *bdd.Manager, nl *netlist.Netlist) (model, error) {
 		nState += nl.Width(nl.Gates[ff].Out)
 	}
 	nIn := 0
-	inBase := map[netlist.SignalID]int{}
 	for _, pi := range nl.PIs {
-		inBase[pi] = 2*nState + nIn
 		nIn += nl.Width(pi)
 	}
-	curVar := func(stateBit int) int { return 2 * stateBit }
-	nextVar := func(stateBit int) int { return 2*stateBit + 1 }
+	curOf := make([]int, nState)
+	nextOf := make([]int, nState)
+	inVarOf := map[netlist.SignalID][]int{}
+	if mono {
+		for k := range curOf {
+			curOf[k], nextOf[k] = 2*k, 2*k+1
+		}
+		b := 2 * nState
+		for _, pi := range nl.PIs {
+			vs := make([]int, nl.Width(pi))
+			for i := range vs {
+				vs[i] = b
+				b++
+			}
+			inVarOf[pi] = vs
+		}
+	} else {
+		slots := nState
+		for _, pi := range nl.PIs {
+			inVarOf[pi] = make([]int, nl.Width(pi))
+			if w := nl.Width(pi); w > slots {
+				slots = w
+			}
+		}
+		idx := 0
+		for i := 0; i < slots; i++ {
+			if i < nState {
+				curOf[i], nextOf[i] = idx, idx+1
+				idx += 2
+			}
+			for _, pi := range nl.PIs {
+				if i < nl.Width(pi) {
+					inVarOf[pi][i] = idx
+					idx++
+				}
+			}
+		}
+	}
+	curVar := func(stateBit int) int { return curOf[stateBit] }
+	nextVar := func(stateBit int) int { return nextOf[stateBit] }
 
 	// Build per-bit functions of every signal over current-state and
 	// input variables.
@@ -122,7 +213,7 @@ func buildModel(m *bdd.Manager, nl *netlist.Netlist) (model, error) {
 		w := nl.Width(pi)
 		bits := make([]bdd.Ref, w)
 		for i := 0; i < w; i++ {
-			bits[i] = m.Var(inBase[pi] + i)
+			bits[i] = m.Var(inVarOf[pi][i])
 		}
 		funcs[pi] = bits
 	}
@@ -135,15 +226,37 @@ func buildModel(m *bdd.Manager, nl *netlist.Netlist) (model, error) {
 		funcs[g.Out] = buildGate(m, nl, g, funcs)
 	}
 
-	// Transition relation T = ∧ (next_i ↔ f_d[i]).
+	// Transition relation T = ∧ (next_i ↔ f_d[i]): one monolithic
+	// conjunction in ablation mode (exactly the pre-partitioning
+	// construction), otherwise per-state-bit conjuncts greedily packed
+	// into clusters in state-bit order under the node budget.
 	t := bdd.True
+	var parts []bdd.Ref
+	if partBudget <= 0 {
+		partBudget = 2048
+	}
+	cluster := bdd.True
 	for _, ff := range nl.FFs {
 		g := &nl.Gates[ff]
 		base := ffBase[ff]
 		d := funcs[g.In[0]]
 		for i := range d {
-			t = m.And(t, m.Xnor(m.Var(nextVar(base+i)), d[i]))
+			c := m.Xnor(m.Var(nextVar(base+i)), d[i])
+			if mono {
+				t = m.And(t, c)
+				continue
+			}
+			merged := m.And(cluster, c)
+			if cluster != bdd.True && m.Size(merged) > partBudget {
+				parts = append(parts, cluster)
+				cluster = c
+			} else {
+				cluster = merged
+			}
 		}
+	}
+	if !mono && cluster != bdd.True {
+		parts = append(parts, cluster)
 	}
 	// Initial states.
 	initR := bdd.True
@@ -159,7 +272,53 @@ func buildModel(m *bdd.Manager, nl *netlist.Netlist) (model, error) {
 			}
 		}
 	}
-	return model{nState: nState, nIn: nIn, funcs: funcs, t: t, init: initR}, nil
+	quantOK := make([]bool, m.NumVars())
+	isCur := make([]bool, m.NumVars())
+	for k := 0; k < nState; k++ {
+		quantOK[curOf[k]] = true
+		isCur[curOf[k]] = true
+	}
+	for _, vs := range inVarOf {
+		for _, v := range vs {
+			quantOK[v] = true
+		}
+	}
+	mo := model{nState: nState, nIn: nIn, funcs: funcs, t: t, init: initR, parts: parts,
+		quantOK: quantOK, isCur: isCur}
+	if !mono {
+		// Early-quantification schedule: the last cluster mentioning a
+		// variable is where it gets quantified out of the image
+		// product. Variables no cluster reads (unconstrained inputs,
+		// state bits feeding nothing) quantify up front.
+		mo.lastAt = make([]int, m.NumVars())
+		for v := range mo.lastAt {
+			mo.lastAt[v] = -1
+		}
+		mark := make([]bool, m.NumVars())
+		for i, p := range parts {
+			for v := range mark {
+				mark[v] = false
+			}
+			m.Support(p, mark)
+			for v, in := range mark {
+				if in {
+					mo.lastAt[v] = i
+				}
+			}
+		}
+		owns := make([]bool, len(parts)+1)
+		for v, i := range mo.lastAt {
+			if quantOK[v] {
+				owns[i+1] = true // index 0 = the up-front step
+			}
+		}
+		for _, o := range owns {
+			if o {
+				mo.quantDepth++
+			}
+		}
+	}
+	return mo, nil
 }
 
 // checkReach runs the forward-reachability fixpoint of one property
@@ -177,9 +336,37 @@ func checkReach(ctx context.Context, m *bdd.Manager, mo model, p property.Proper
 	if p.Kind == property.Witness {
 		bad = mon
 	}
-	nState, nIn := mo.nState, mo.nIn
-	isCurOrInput := func(v int) bool {
-		return (v < 2*nState && v%2 == 0) || v >= 2*nState
+	isCurOrInput := func(v int) bool { return mo.quantOK[v] }
+	if !opts.MonolithicImage {
+		res.Partitions = len(mo.parts)
+		res.QuantDepth = mo.quantDepth
+	}
+
+	// image computes ∃ current,input . T ∧ reached ∧ assume, renamed
+	// next -> current. Monolithic mode conjoins against the single T
+	// and quantifies everything at once (the pre-partitioning
+	// computation, verbatim); partitioned mode folds the cluster list
+	// with AndExists relational products, quantifying each variable at
+	// the last cluster that mentions it so the intermediate products
+	// never carry variables no remaining cluster reads.
+	image := func(reached bdd.Ref) bdd.Ref {
+		if opts.MonolithicImage {
+			img := m.Exists(m.And(m.And(mo.t, reached), assume), isCurOrInput)
+			return m.Rename(img, func(v int) int { return v - 1 })
+		}
+		acc := m.And(reached, assume)
+		acc = m.Exists(acc, func(v int) bool {
+			return isCurOrInput(v) && mo.lastAt[v] < 0
+		})
+		for i, p := range mo.parts {
+			acc = m.AndExists(acc, p, func(v int) bool {
+				return isCurOrInput(v) && mo.lastAt[v] == i
+			})
+			if s := m.Size(acc); s > res.PeakImageNodes {
+				res.PeakImageNodes = s
+			}
+		}
+		return m.Rename(acc, func(v int) int { return v - 1 })
 	}
 
 	reached := mo.init
@@ -195,18 +382,16 @@ func checkReach(ctx context.Context, m *bdd.Manager, mo model, p property.Proper
 			res.Verdict = Falsified
 			res.Iters = iter
 			res.PeakNodes = m.NumNodes()
-			res.States = countStates(m, reached, nState, nIn)
+			res.States = countStates(m, reached, mo)
 			res.Elapsed = time.Since(start)
 			return
 		}
-		img := m.Exists(m.And(m.And(mo.t, reached), assume), isCurOrInput)
-		img = m.Rename(img, func(v int) int { return v - 1 }) // next -> current
-		newR := m.Or(reached, img)
+		newR := m.Or(reached, image(reached))
 		if newR == reached {
 			res.Verdict = Proved
 			res.Iters = iter
 			res.PeakNodes = m.NumNodes()
-			res.States = countStates(m, reached, nState, nIn)
+			res.States = countStates(m, reached, mo)
 			res.Elapsed = time.Since(start)
 			return
 		}
@@ -257,7 +442,7 @@ func CheckCtx(ctx context.Context, nl *netlist.Netlist, p property.Property, opt
 	if ctx.Done() != nil { // cancellable: poll inside node allocation
 		m.Interrupt = func() bool { return ctx.Err() != nil }
 	}
-	mo, err := buildModel(m, nl)
+	mo, err := buildModel(m, nl, opts.MonolithicImage, opts.PartitionNodes)
 	if err != nil {
 		res.Verdict = Unknown
 		res.Elapsed = time.Since(start)
@@ -277,6 +462,7 @@ type Compiled struct {
 	nVars int
 	nodes []bdd.Node
 	mo    model
+	mono  bool
 }
 
 // CompileOptions bounds the one-time model construction.
@@ -285,6 +471,13 @@ type CompileOptions struct {
 	// transition relation blows past it fails to compile; checks must
 	// then fall back to the direct (per-run, interruptible) path.
 	MaxNodes int
+	// MonolithicImage compiles the single conjoined transition
+	// relation instead of the partitioned clusters. A compiled model
+	// only supports the image mode it was compiled for: check-time
+	// Options.MonolithicImage must match, or CheckCtx reports Unknown.
+	MonolithicImage bool
+	// PartitionNodes is the per-cluster node budget (0 = 2048).
+	PartitionNodes int
 }
 
 // Compile builds the symbolic model of a design once, for reuse across
@@ -307,11 +500,11 @@ func Compile(nl *netlist.Netlist, opts CompileOptions) (c *Compiled, err error) 
 	nState, nIn := layoutSizes(nl)
 	m := bdd.New(2*nState + nIn)
 	m.MaxNodes = opts.MaxNodes
-	mo, err := buildModel(m, nl)
+	mo, err := buildModel(m, nl, opts.MonolithicImage, opts.PartitionNodes)
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{nl: nl, nVars: m.NumVars(), nodes: m.Snapshot(), mo: mo}, nil
+	return &Compiled{nl: nl, nVars: m.NumVars(), nodes: m.Snapshot(), mo: mo, mono: opts.MonolithicImage}, nil
 }
 
 // Netlist returns the compiled design.
@@ -336,6 +529,14 @@ func (c *Compiled) CheckCtx(ctx context.Context, p property.Property, opts Optio
 		opts.MaxIters = 10000
 	}
 	defer recoverBudget(&res, start, opts.MaxNodes)
+	if opts.MonolithicImage != c.mono {
+		// The snapshot only holds the transition-relation form it was
+		// compiled with; checking in the other mode must go through
+		// the direct path.
+		res.Verdict = Unknown
+		res.Elapsed = time.Since(start)
+		return
+	}
 	m := bdd.NewFromSnapshot(c.nVars, c.nodes)
 	m.MaxNodes = opts.MaxNodes
 	if ctx.Done() != nil {
@@ -347,11 +548,9 @@ func (c *Compiled) CheckCtx(ctx context.Context, p property.Property, opts Optio
 // countStates projects r onto the current-state variables and counts
 // the states: input and next-state variables are quantified away and
 // their don't-care factor divided out of the satcount.
-func countStates(m *bdd.Manager, r bdd.Ref, nState, nIn int) float64 {
-	p := m.Exists(r, func(v int) bool {
-		return v >= 2*nState || v%2 == 1
-	})
-	return m.SatCount(p) / pow2(nState+nIn)
+func countStates(m *bdd.Manager, r bdd.Ref, mo model) float64 {
+	p := m.Exists(r, func(v int) bool { return !mo.isCur[v] })
+	return m.SatCount(p) / pow2(mo.nState+mo.nIn)
 }
 
 func pow2(n int) float64 {

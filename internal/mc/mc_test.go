@@ -160,6 +160,48 @@ func TestCompiledMatchesDirect(t *testing.T) {
 		}
 	}
 
+	// Partitioned vs monolithic image: the two modes quantify in a
+	// different order over different variable layouts, but both compute
+	// exact images, so verdict, iteration count and reachable-state
+	// count must agree; node counts may differ (different layouts build
+	// different tables). The partitioned run must report its schedule,
+	// the monolithic run must not.
+	monoComp, err := Compile(nl, CompileOptions{MonolithicImage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range props {
+		part := Check(nl, p, Options{})
+		mono := Check(nl, p, Options{MonolithicImage: true})
+		if part.Verdict != mono.Verdict || part.Iters != mono.Iters || part.States != mono.States {
+			t.Errorf("%s: partitioned {%v iters=%d states=%v}, monolithic {%v iters=%d states=%v}",
+				p.Name, part.Verdict, part.Iters, part.States,
+				mono.Verdict, mono.Iters, mono.States)
+		}
+		if part.Partitions == 0 || part.QuantDepth == 0 {
+			t.Errorf("%s: partitioned run reports no schedule (parts=%d qdepth=%d)",
+				p.Name, part.Partitions, part.QuantDepth)
+		}
+		if mono.Partitions != 0 || mono.PeakImageNodes != 0 || mono.QuantDepth != 0 {
+			t.Errorf("%s: monolithic run leaks partition stats {%d %d %d}",
+				p.Name, mono.Partitions, mono.PeakImageNodes, mono.QuantDepth)
+		}
+		loadedMono := monoComp.CheckCtx(context.Background(), p, Options{MonolithicImage: true})
+		if loadedMono.Verdict != mono.Verdict || loadedMono.Iters != mono.Iters ||
+			loadedMono.States != mono.States || loadedMono.PeakNodes != mono.PeakNodes {
+			t.Errorf("%s: compiled monolithic {%v iters=%d states=%v nodes=%d}, direct {%v iters=%d states=%v nodes=%d}",
+				p.Name, loadedMono.Verdict, loadedMono.Iters, loadedMono.States, loadedMono.PeakNodes,
+				mono.Verdict, mono.Iters, mono.States, mono.PeakNodes)
+		}
+		// A snapshot only supports the image mode it was compiled for.
+		if r := monoComp.CheckCtx(context.Background(), p, Options{}); r.Verdict != Unknown {
+			t.Errorf("%s: mode-mismatched compiled check returned %v, want unknown", p.Name, r.Verdict)
+		}
+		if r := comp.CheckCtx(context.Background(), p, Options{MonolithicImage: true}); r.Verdict != Unknown {
+			t.Errorf("%s: mode-mismatched compiled check returned %v, want unknown", p.Name, r.Verdict)
+		}
+	}
+
 	// Concurrent sessions over one compiled model: private managers,
 	// identical answers.
 	var wg sync.WaitGroup
